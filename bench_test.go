@@ -1,0 +1,325 @@
+// Benchmark harness regenerating the paper's evaluation (§6): one
+// testing.B benchmark per table and figure, plus substrate micro
+// benchmarks and ablations of the detector's design choices.
+//
+//	go test -bench=. -benchmem .
+//
+// Reported custom metrics:
+//
+//	pre-s/op, post-s/op   the Fig. 12a stage breakdown
+//	failpoints/op         injected failure points per run
+//	bugs/op               reports per run (Table 5 benchmarks)
+package xfd_test
+
+import (
+	"fmt"
+	"testing"
+
+	xfd "github.com/pmemgo/xfdetector"
+	"github.com/pmemgo/xfdetector/internal/bench"
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/mechanisms"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/shadow"
+	"github.com/pmemgo/xfdetector/internal/trace"
+	"github.com/pmemgo/xfdetector/internal/workloads"
+)
+
+// runDetection executes one detection run and accumulates its metrics.
+func runDetection(b *testing.B, cfg core.Config, target core.Target) (pre, post float64, fps, bugs int) {
+	b.Helper()
+	res, err := core.Run(cfg, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.PreSeconds, res.PostSeconds, res.FailurePoints, len(res.Reports)
+}
+
+// BenchmarkFig12a measures full detection per workload with the §6.2.1
+// configuration (1 init insertion + 1 test insertion, one post-failure
+// operation per failure point), reporting the pre/post breakdown.
+func BenchmarkFig12a(b *testing.B) {
+	for _, w := range bench.Table4() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var pre, post float64
+			var fps int
+			for i := 0; i < b.N; i++ {
+				p1, p2, f, _ := runDetection(b,
+					core.Config{PoolSize: bench.DefaultPoolSize}, w.Target(bench.Fig12Config))
+				pre += p1
+				post += p2
+				fps += f
+			}
+			n := float64(b.N)
+			b.ReportMetric(pre/n, "pre-s/op")
+			b.ReportMetric(post/n, "post-s/op")
+			b.ReportMetric(float64(fps)/n, "failpoints/op")
+		})
+	}
+}
+
+// BenchmarkFig12b runs the three §6.2.1 configurations per workload; the
+// slowdown ratios of Fig. 12b fall out of the ns/op columns.
+func BenchmarkFig12b(b *testing.B) {
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"Detect", core.ModeDetect},
+		{"TraceOnly", core.ModeTraceOnly},
+		{"Original", core.ModeOriginal},
+	}
+	for _, w := range bench.Table4() {
+		w := w
+		for _, m := range modes {
+			m := m
+			b.Run(w.Name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.Run(core.Config{
+						PoolSize: bench.DefaultPoolSize, Mode: m.mode,
+					}, w.Target(bench.Fig12Config))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig13 sweeps the number of pre-failure transactions (§6.2.2);
+// ns/op must scale linearly with the reported failure points.
+func BenchmarkFig13(b *testing.B) {
+	for _, m := range workloads.Makers() {
+		m := m
+		for _, n := range bench.Fig13Transactions {
+			n := n
+			b.Run(fmt.Sprintf("%s/tx=%d", m.Name, n), func(b *testing.B) {
+				fps := 0
+				for i := 0; i < b.N; i++ {
+					cfg := workloads.TargetConfig{InitSize: 1, TestSize: n, PostOps: true}
+					_, _, f, _ := runDetection(b,
+						core.Config{PoolSize: 16 << 20}, workloads.DetectionTarget(m, cfg))
+					fps += f
+				}
+				b.ReportMetric(float64(fps)/float64(b.N), "failpoints/op")
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 measures one representative seeded-bug detection per
+// workload (the full 59-bug suite runs in TestTable5Validation).
+func BenchmarkTable5(b *testing.B) {
+	picks := map[string]string{
+		"B-Tree":         "btree-skip-add-leaf",
+		"C-Tree":         "ctree-skip-add-link",
+		"RB-Tree":        "rbt-skip-add-insert-link",
+		"Hashmap-TX":     "hmtx-skip-add-slot",
+		"Hashmap-Atomic": "hma-sem-inverted-dirty",
+	}
+	for _, m := range workloads.Makers() {
+		m := m
+		fault := picks[m.Name]
+		b.Run(m.Name, func(b *testing.B) {
+			bugs := 0
+			for i := 0; i < b.N; i++ {
+				cfg := workloads.TargetConfig{
+					InitSize: 5, TestSize: 3, Updates: 1, Removes: 2,
+					PostOps: true, Fault: fault, FaultInCreate: true,
+				}
+				_, _, _, nbugs := runDetection(b,
+					core.Config{PoolSize: bench.DefaultPoolSize}, workloads.DetectionTarget(m, cfg))
+				bugs += nbugs
+			}
+			if bugs == 0 {
+				b.Fatalf("seeded bug %s not detected", fault)
+			}
+			b.ReportMetric(float64(bugs)/float64(b.N), "bugs/op")
+		})
+	}
+}
+
+// BenchmarkTable1 measures detection over each Table 1 mechanism.
+func BenchmarkTable1(b *testing.B) {
+	for i, m := range mechanisms.All() {
+		i := i
+		b.Run(m.Name(), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				mech := mechanisms.All()[i]
+				target := xfd.Target{
+					Name: mech.Name(),
+					Setup: func(c *xfd.Ctx) error {
+						mech.Init(c, mechanisms.MakePayload(1))
+						return nil
+					},
+					Pre: func(c *xfd.Ctx) error {
+						mech.Update(c, mechanisms.MakePayload(2))
+						return nil
+					},
+					Post: func(c *xfd.Ctx) error {
+						_, err := mech.Recover(c)
+						return err
+					},
+				}
+				if _, err := xfd.Run(xfd.Config{}, target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablations: the detector's design choices called out in DESIGN.md.
+
+// BenchmarkAblationIPCapture compares detection with and without
+// source-location capture (the runtime.Caller cost of the tracing
+// frontend).
+func BenchmarkAblationIPCapture(b *testing.B) {
+	m, _ := workloads.MakerFor("B-Tree")
+	for _, disabled := range []bool{false, true} {
+		name := "WithIP"
+		if disabled {
+			name = "NoIP"
+		}
+		disabled := disabled
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := workloads.TargetConfig{InitSize: 2, TestSize: 2, PostOps: true}
+				_, err := core.Run(core.Config{
+					PoolSize: bench.DefaultPoolSize, DisableIPCapture: disabled,
+				}, workloads.DetectionTarget(m, cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFailurePointElision compares detection with and without
+// the §5.4 empty-interval optimization.
+func BenchmarkAblationFailurePointElision(b *testing.B) {
+	m, _ := workloads.MakerFor("Hashmap-TX")
+	for _, disabled := range []bool{false, true} {
+		name := "Elide"
+		if disabled {
+			name = "NoElide"
+		}
+		disabled := disabled
+		b.Run(name, func(b *testing.B) {
+			fps := 0
+			for i := 0; i < b.N; i++ {
+				cfg := workloads.TargetConfig{InitSize: 2, TestSize: 2, PostOps: true}
+				_, _, f, _ := runDetection(b, core.Config{
+					PoolSize:                   bench.DefaultPoolSize,
+					DisableFailurePointElision: disabled,
+				}, workloads.DetectionTarget(m, cfg))
+				fps += f
+			}
+			b.ReportMetric(float64(fps)/float64(b.N), "failpoints/op")
+		})
+	}
+}
+
+// Substrate micro benchmarks.
+
+// BenchmarkPmemOps measures the simulated device primitives.
+func BenchmarkPmemOps(b *testing.B) {
+	b.Run("Store64", func(b *testing.B) {
+		p := pmem.New("bench", 1<<20)
+		p.SetIPCapture(false)
+		for i := 0; i < b.N; i++ {
+			p.Store64(uint64(i*8)%(1<<19), uint64(i))
+		}
+	})
+	b.Run("Store64Traced", func(b *testing.B) {
+		p := pmem.New("bench", 1<<20)
+		p.SetSink(discard{})
+		for i := 0; i < b.N; i++ {
+			p.Store64(uint64(i*8)%(1<<19), uint64(i))
+		}
+	})
+	b.Run("PersistBarrier", func(b *testing.B) {
+		p := pmem.New("bench", 1<<20)
+		p.SetIPCapture(false)
+		for i := 0; i < b.N; i++ {
+			off := uint64(i*64) % (1 << 19)
+			p.Store64(off, uint64(i))
+			p.Persist(off, 8)
+		}
+	})
+}
+
+type discard struct{}
+
+func (discard) Record(trace.Entry) {}
+
+// BenchmarkShadowApply measures the backend state machine.
+func BenchmarkShadowApply(b *testing.B) {
+	sh := shadow.NewPM(1 << 20)
+	entries := []trace.Entry{
+		{Kind: trace.Write, Addr: 0x100, Size: 64, IP: "b.go:1"},
+		{Kind: trace.CLWB, Addr: 0x100, Size: 64, IP: "b.go:2"},
+		{Kind: trace.SFence},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			sh.Apply(e)
+		}
+	}
+}
+
+// BenchmarkPmobjTx measures a minimal transaction on the PMDK-like
+// substrate (alloc + add + store + commit), without detection.
+func BenchmarkPmobjTx(b *testing.B) {
+	p := pmem.New("bench", 16<<20)
+	p.SetIPCapture(false)
+	po, err := pmobj.Create(p, 64, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := po.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := po.Tx(func(tx *pmobj.Tx) error {
+			if err := tx.Add(root, 8); err != nil {
+				return err
+			}
+			p.Store64(root, uint64(i))
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelDetection measures the parallelized detector (the
+// future work of §6.2.1) against the sequential baseline on the Redis
+// workload, whose many failure points make the post-failure stage large.
+// On a single-core host the workers only add coordination overhead; the
+// speedup shape needs real cores (see EXPERIMENTS.md).
+func BenchmarkParallelDetection(b *testing.B) {
+	cfg := workloads.TargetConfig{InitSize: 2, TestSize: 2, PostOps: true}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					PoolSize: bench.DefaultPoolSize, Workers: workers,
+				}, bench.RedisTarget(pmredis.Options{}, cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Reports) != 0 {
+					b.Fatalf("unexpected reports:\n%s", res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+// Command xfdetector runs cross-failure bug detection on one of the
+// evaluated PM programs, mirroring the paper artifact's run.sh:
+//
+//	xfdetector -workload btree -init 5 -test 5 -patch race1...
+//
+// Workloads: btree, ctree, rbtree, hashmap-tx, hashmap-atomic, redis,
+// memcached. Patches are the synthetic bugs of Table 5 (list them with
+// -list); an empty patch tests the correct program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/workloads"
+)
+
+var shortNames = map[string]string{
+	"btree":          "B-Tree",
+	"ctree":          "C-Tree",
+	"rbtree":         "RB-Tree",
+	"hashmap-tx":     "Hashmap-TX",
+	"hashmap-atomic": "Hashmap-Atomic",
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "btree", "btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached")
+		initSize = flag.Int("init", 5, "insertions while initializing the PM image (INITSIZE)")
+		testSize = flag.Int("test", 5, "insertions in the pre-failure stage (TESTSIZE)")
+		updates  = flag.Int("updates", 1, "value updates in the pre-failure stage")
+		removes  = flag.Int("removes", 1, "removals in the pre-failure stage")
+		patch    = flag.String("patch", "", "synthetic bug to inject (see -list); empty = correct program")
+		list     = flag.Bool("list", false, "list available patches and exit")
+		mode     = flag.String("mode", "detect", "detect | trace | original (the Fig. 12b configurations)")
+		maxFP    = flag.Int("max-failure-points", 0, "cap on injected failure points (0 = unlimited)")
+		poolMB   = flag.Int("pool-mb", 4, "PM pool size in MiB")
+		workers  = flag.Int("workers", 1, "post-failure worker goroutines (>1 enables parallel detection)")
+		verbose  = flag.Bool("v", false, "print per-run statistics even when clean")
+	)
+	flag.Parse()
+
+	if *list {
+		listPatches()
+		return
+	}
+
+	cfg := core.Config{
+		PoolSize:         uint64(*poolMB) << 20,
+		MaxFailurePoints: *maxFP,
+		Workers:          *workers,
+	}
+	switch *mode {
+	case "detect":
+		cfg.Mode = core.ModeDetect
+	case "trace":
+		cfg.Mode = core.ModeTraceOnly
+	case "original":
+		cfg.Mode = core.ModeOriginal
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	target, err := buildTarget(*workload, *patch, workloads.TargetConfig{
+		InitSize: *initSize,
+		TestSize: *testSize,
+		Updates:  *updates,
+		Removes:  *removes,
+		PostOps:  true,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	res, err := core.Run(cfg, target)
+	if err != nil {
+		fatalf("detection failed: %v", err)
+	}
+	fmt.Print(res)
+	if *verbose {
+		fmt.Printf("mode=%s pool=%dMiB\n", cfg.Mode, *poolMB)
+	}
+	if !res.Clean() {
+		os.Exit(1)
+	}
+}
+
+func buildTarget(workload, patch string, cfg workloads.TargetConfig) (core.Target, error) {
+	switch workload {
+	case "redis":
+		opts := pmredis.Options{}
+		switch patch {
+		case "":
+		case "init-race", "bug3":
+			opts.InitRaceBug = true
+		default:
+			return core.Target{}, fmt.Errorf("redis patches: init-race (the paper's Bug 3)")
+		}
+		return redisTarget(opts, cfg), nil
+	case "memcached":
+		if patch != "" {
+			return core.Target{}, fmt.Errorf("memcached has no seeded patches")
+		}
+		return memcachedTarget(cfg), nil
+	}
+
+	name, ok := shortNames[workload]
+	if !ok {
+		return core.Target{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	m, _ := workloads.MakerFor(name)
+	if patch != "" {
+		fault, err := resolvePatch(name, patch)
+		if err != nil {
+			return core.Target{}, err
+		}
+		cfg.Fault = fault
+		cfg.FaultInCreate = true
+	}
+	return workloads.DetectionTarget(m, cfg), nil
+}
+
+// resolvePatch accepts either a full fault name or an unambiguous suffix.
+func resolvePatch(workload, patch string) (string, error) {
+	var matches []string
+	for _, fl := range workloads.FaultsFor(workload) {
+		if fl.Name == patch {
+			return fl.Name, nil
+		}
+		if strings.Contains(fl.Name, patch) {
+			matches = append(matches, fl.Name)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("no patch matching %q for %s (see -list)", patch, workload)
+	default:
+		return "", fmt.Errorf("ambiguous patch %q: %s", patch, strings.Join(matches, ", "))
+	}
+}
+
+func listPatches() {
+	fmt.Println("Synthetic bug patches (Table 5 of the paper):")
+	for _, m := range workloads.Makers() {
+		fmt.Printf("\n%s:\n", m.Name)
+		for _, fl := range workloads.FaultsFor(m.Name) {
+			fmt.Printf("  %-32s %-28s [%s] %s\n", fl.Name, fl.Class, fl.Suite, fl.Description)
+		}
+	}
+	fmt.Printf("\nredis:\n  %-32s %-28s [%s] %s\n",
+		"init-race", core.CrossFailureRace, "paper", "Bug 3: num_dict_entries initialized outside the transaction")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xfdetector: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"github.com/pmemgo/xfdetector/internal/bench"
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/workloads"
+)
+
+// redisTarget and memcachedTarget delegate to the shared experiment
+// harness so the CLI and xfdbench drive identical targets.
+func redisTarget(opts pmredis.Options, cfg workloads.TargetConfig) core.Target {
+	return bench.RedisTarget(opts, cfg)
+}
+
+func memcachedTarget(cfg workloads.TargetConfig) core.Target {
+	return bench.MemcachedTarget(cfg)
+}

@@ -1,0 +1,136 @@
+// Array update — the paper's Figure 2 and the worked detection example of
+// Figure 11.
+//
+// update() backs an array element up, guards the backup with a valid bit
+// (a commit variable), updates in place, and releases the guard. Three
+// variants run under detection:
+//
+//   - fig11: backup and valid persist with ONE barrier (the Fig. 11
+//     program): failure point F1 makes the recovery's backup read a
+//     cross-failure race, and F2 a cross-failure semantic bug, exactly the
+//     two reports of the paper's step-by-step example;
+//
+//   - fig2-buggy: the valid bit is written with inverted values (Fig. 2's
+//     red code): the recovery always performs the wrong action, reported
+//     as a cross-failure semantic bug;
+//
+//   - fig2-fixed: the corrected ordering (Fig. 2's green box): clean.
+//
+//     go run ./examples/arrayupdate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xfd "github.com/pmemgo/xfdetector"
+)
+
+const (
+	backupIdxOff = 0x100 // backup.idx
+	backupValOff = 0x108 // backup.val
+	validOff     = 0x140 // the commit variable (own cache line)
+	arrOff       = 0x200 // item_t arr[8]
+)
+
+func annotate(c *xfd.Ctx) {
+	c.AddCommitRange(validOff, 8, backupIdxOff, 16)
+	c.AddCommitRange(validOff, 8, arrOff, 64)
+}
+
+func setup(c *xfd.Ctx) error {
+	p := c.Pool()
+	annotate(c)
+	for i := uint64(0); i < 8; i++ {
+		p.Store64(arrOff+8*i, 1000+i)
+	}
+	p.Store64(validOff, 0)
+	p.Persist(arrOff, 64)
+	p.Persist(validOff, 8)
+	return nil
+}
+
+// recover is Fig. 2 lines 13-17: if valid, roll back from the backup.
+func recover(c *xfd.Ctx) error {
+	p := c.Pool()
+	annotate(c)
+	if p.Load64(validOff) != 0 { // benign commit-variable read
+		idx := p.Load64(backupIdxOff)
+		val := p.Load64(backupValOff) // F1: race, F2: semantic bug
+		if idx >= 8 {
+			return fmt.Errorf("recovery read impossible index %d", idx)
+		}
+		p.Store64(arrOff+8*idx, val)
+		p.Persist(arrOff+8*idx, 8)
+		p.Store64(validOff, 0)
+		p.Persist(validOff, 8)
+	}
+	return nil
+}
+
+// fig11 is the two-barrier program of Fig. 11: backup and valid written
+// back together, then the in-place update.
+func fig11(c *xfd.Ctx) error {
+	p := c.Pool()
+	p.Store64(backupIdxOff, 0)
+	p.Store64(backupValOff, p.Load64(arrOff))
+	p.Store64(validOff, 1)
+	p.CLWB(backupIdxOff, 16) // one barrier covers backup and valid:
+	p.CLWB(validOff, 8)      // nothing orders the backup before its commit
+	p.SFence()
+	p.Store64(arrOff, 2222)
+	p.Persist(arrOff, 8)
+	return nil
+}
+
+// update is Fig. 2's update() with selectable valid-bit values; the buggy
+// variant writes them inverted (0 where 1 belongs and vice versa).
+func update(c *xfd.Ctx, inverted bool) error {
+	p := c.Pool()
+	set, clear := uint64(1), uint64(0)
+	if inverted {
+		set, clear = 0, 1 // BUG: Fig. 2 lines 6 and 10
+	}
+	p.Store64(backupIdxOff, 0)
+	p.Store64(backupValOff, p.Load64(arrOff))
+	p.Persist(backupIdxOff, 16)
+	p.Store64(validOff, set)
+	p.Persist(validOff, 8)
+	p.Store64(arrOff, 2222)
+	p.Persist(arrOff, 8)
+	p.Store64(validOff, clear)
+	p.Persist(validOff, 8)
+	return nil
+}
+
+func main() {
+	targets := []xfd.Target{
+		{
+			Name:  "fig11-single-barrier",
+			Setup: setup,
+			Pre:   fig11,
+			Post:  recover,
+		},
+		{
+			Name:  "fig2-buggy-inverted-valid",
+			Setup: setup,
+			Pre:   func(c *xfd.Ctx) error { return update(c, true) },
+			Post:  recover,
+		},
+		{
+			Name:  "fig2-fixed",
+			Setup: setup,
+			Pre:   func(c *xfd.Ctx) error { return update(c, false) },
+			Post:  recover,
+		},
+	}
+	for _, t := range targets {
+		fmt.Printf("== %s ==\n", t.Name)
+		res, err := xfd.Run(xfd.Config{}, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res)
+		fmt.Println()
+	}
+}

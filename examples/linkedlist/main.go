@@ -1,0 +1,153 @@
+// Linked list — the paper's Figure 1, reproduced end to end.
+//
+// A persistent linked list appends nodes inside undo-log transactions, but
+// the programmer forgot to TX_ADD the length field. Whether that is a bug
+// depends on the post-failure stage:
+//
+//   - recover(): applies the undo logs (pmobj.Open does) and resumes with
+//     pop(), which trusts the possibly-non-persisted length — XFDetector
+//     reports the cross-failure race of Fig. 4a, and when the stale length
+//     claims the empty list has an element, pop() dereferences a nil head:
+//     the segmentation-fault scenario, observable as a post-failure fault.
+//
+//   - recover_alt(): traverses the list and overwrites length with the
+//     recomputed value (the paper's green arrows); pop() then reads only
+//     consistent data and detection is clean, even though the pre-failure
+//     transaction still omits the length — the paper's point that a
+//     pre-failure-only tool would report a false positive here.
+//
+//     go run ./examples/linkedlist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xfd "github.com/pmemgo/xfdetector"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// Root object: head (offset of first node) and length.
+// Node: next | value.
+const (
+	headOff = 0
+	lenOff  = 8
+
+	nodeNext  = 0
+	nodeValue = 8
+	nodeSize  = 16
+)
+
+type list struct {
+	po   *pmobj.Pool
+	root uint64
+}
+
+// append adds a node at the head — Fig. 1 lines 1-8, including its bug:
+// list.length is updated inside the transaction without TX_ADD.
+func (l *list) append(value uint64) error {
+	p := l.po.PM()
+	return l.po.Tx(func(tx *pmobj.Tx) error {
+		n, err := tx.Alloc(nodeSize)
+		if err != nil {
+			return err
+		}
+		p.Store64(n+nodeValue, value)
+		p.Store64(n+nodeNext, p.Load64(l.root+headOff))
+		if err := tx.Add(l.root+headOff, 8); err != nil { // TX_ADD(list.head)
+			return err
+		}
+		p.Store64(l.root+headOff, n)
+		p.Store64(l.root+lenOff, p.Load64(l.root+lenOff)+1) // BUG: not added
+		return nil
+	})
+}
+
+// pop removes the head node — Fig. 1 lines 13-21: it trusts length to
+// decide whether a node exists.
+func (l *list) pop() error {
+	p := l.po.PM()
+	return l.po.Tx(func(tx *pmobj.Tx) error {
+		if p.Load64(l.root+lenOff) == 0 {
+			return nil
+		}
+		head := p.Load64(l.root + headOff)
+		// With an inconsistent length this dereferences a nil head — the
+		// paper's segmentation fault (an out-of-pool panic here).
+		next := p.Load64(head + nodeNext)
+		if err := tx.Add(l.root, 16); err != nil {
+			return err
+		}
+		p.Store64(l.root+headOff, next)
+		p.Store64(l.root+lenOff, p.Load64(l.root+lenOff)-1)
+		return tx.Free(head)
+	})
+}
+
+// recoverAlt is Fig. 1 lines 22-31: traverse the list (reading only
+// transaction-protected data) and overwrite the inconsistent length.
+func (l *list) recoverAlt() {
+	p := l.po.PM()
+	count := uint64(0)
+	for cur := p.Load64(l.root + headOff); cur != 0; cur = p.Load64(cur + nodeNext) {
+		count++
+	}
+	p.Store64(l.root+lenOff, count)
+	p.Persist(l.root+lenOff, 8)
+}
+
+func target(name string, altRecovery bool) xfd.Target {
+	return xfd.Target{
+		Name: name,
+		Setup: func(c *xfd.Ctx) error {
+			po, err := pmobj.Create(c.Pool(), 16, nil)
+			if err != nil {
+				return err
+			}
+			_ = po
+			return nil
+		},
+		Pre: func(c *xfd.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			l := &list{po: po, root: po.Root()}
+			for v := uint64(1); v <= 3; v++ {
+				if err := l.append(10 * v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Post: func(c *xfd.Ctx) error {
+			// recover(): pmobj.Open rolls incomplete transactions back.
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			l := &list{po: po, root: po.Root()}
+			if altRecovery {
+				l.recoverAlt() // recover_alt(): overwrite length first
+			}
+			// Resumption: the next operation is pop() (Fig. 1 line 13).
+			return l.pop()
+		},
+	}
+}
+
+func main() {
+	for _, alt := range []bool{false, true} {
+		name := "linkedlist-naive-recover"
+		if alt {
+			name = "linkedlist-recover-alt"
+		}
+		fmt.Printf("== %s ==\n", name)
+		res, err := xfd.Run(xfd.Config{}, target(name, alt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res)
+		fmt.Println()
+	}
+}

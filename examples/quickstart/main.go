@@ -1,0 +1,103 @@
+// Quickstart: detect a cross-failure race, then fix it with a
+// commit-variable protocol.
+//
+// The buggy version updates a persistent balance in place; whenever a
+// failure lands between the store and its writeback, the recovery reads a
+// value that was never guaranteed persistent — a cross-failure race.
+//
+// The fixed version keeps two slots and a commit index (registered as a
+// commit variable with Ctx.AddCommitRange): a new value is persisted into
+// the inactive slot before the index commits it, so the recovery's read of
+// the index is a benign race and the slot it selects is always consistent.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xfd "github.com/pmemgo/xfdetector"
+)
+
+const (
+	// Buggy layout: a single in-place balance.
+	balanceOff = 0x000
+
+	// Fixed layout: commit index plus two slots, on separate cache lines.
+	curOff   = 0x100
+	slot0Off = 0x140
+	slot1Off = 0x180
+)
+
+func buggy() xfd.Target {
+	return xfd.Target{
+		Name: "quickstart-buggy",
+		Pre: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			for _, v := range []uint64{100, 90, 75} {
+				p.Store64(balanceOff, v) // in-place update:
+				p.Persist(balanceOff, 8) // racy between store and fence
+			}
+			return nil
+		},
+		Post: func(c *xfd.Ctx) error {
+			c.Pool().Load64(balanceOff) // cross-failure race
+			return nil
+		},
+	}
+}
+
+func fixed() xfd.Target {
+	slot := func(i uint64) uint64 {
+		if i == 0 {
+			return slot0Off
+		}
+		return slot1Off
+	}
+	return xfd.Target{
+		Name: "quickstart-fixed",
+		Setup: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			c.AddCommitRange(curOff, 8, slot0Off, 0x80)
+			p.Store64(slot0Off, 100)
+			p.Persist(slot0Off, 8)
+			p.Store64(curOff, 0)
+			p.Persist(curOff, 8)
+			return nil
+		},
+		Pre: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			for _, v := range []uint64{90, 75} {
+				next := 1 - p.Load64(curOff)
+				p.Store64(slot(next), v) // write the inactive slot,
+				p.Persist(slot(next), 8) // persist it,
+				p.Store64(curOff, next)  // then commit it.
+				p.Persist(curOff, 8)
+			}
+			return nil
+		},
+		Post: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			c.AddCommitRange(curOff, 8, slot0Off, 0x80)
+			cur := p.Load64(curOff) // benign commit-variable read
+			balance := p.Load64(slot(cur))
+			if balance != 100 && balance != 90 && balance != 75 {
+				return fmt.Errorf("recovered impossible balance %d", balance)
+			}
+			return nil
+		},
+	}
+}
+
+func main() {
+	for _, t := range []xfd.Target{buggy(), fixed()} {
+		fmt.Printf("== %s ==\n", t.Name)
+		res, err := xfd.Run(xfd.Config{}, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,134 @@
+// Redis demo — the mini PM-Redis served over a real TCP socket, then the
+// paper's Bug 3 (§6.3.2) reproduced under detection.
+//
+// Part 1 starts the server on a loopback listener, speaks the inline
+// protocol over the socket, restarts the "server" (reopening the pool) and
+// shows the data survived.
+//
+// Part 2 runs the server's initialization + query loop under XFDetector
+// twice: once with the correct initPersistentMemory and once with the Bug 3
+// variant (num_dict_entries initialized outside the transaction), which is
+// reported as a cross-failure race — the paper's Fig. 14c.
+//
+//	go run ./examples/redisdemo
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+
+	xfd "github.com/pmemgo/xfdetector"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+)
+
+func main() {
+	if err := serveOverSocket(); err != nil {
+		log.Fatal(err)
+	}
+	if err := detectBug3(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func serveOverSocket() error {
+	fmt.Println("== part 1: PM-Redis over a TCP socket ==")
+	target := xfd.Target{
+		Name: "redis-socket",
+		Pre: func(c *xfd.Ctx) error {
+			db, err := pmredis.Create(c, pmredis.Options{})
+			if err != nil {
+				return err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			defer ln.Close()
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				_ = db.ServeConn(conn)
+			}()
+
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			rd := bufio.NewScanner(conn)
+			say := func(cmd string) string {
+				fmt.Fprintf(conn, "%s\n", cmd)
+				rd.Scan()
+				fmt.Printf("  > %-22s %s\n", cmd, rd.Text())
+				return rd.Text()
+			}
+			say("PING")
+			say("SET language go")
+			say("SET paper asplos2020")
+			say("GET paper")
+			say("DBSIZE")
+			say("QUIT")
+
+			// "Restart the server": reopen the same pool and check the
+			// data is still there.
+			db2, err := pmredis.Open(c, pmredis.Options{})
+			if err != nil {
+				return err
+			}
+			v, ok := db2.Get("language")
+			fmt.Printf("  after restart: GET language -> %q (%v)\n", v, ok)
+			if !ok || v != "go" {
+				return fmt.Errorf("data lost across restart")
+			}
+			return nil
+		},
+	}
+	_, err := xfd.Run(xfd.Config{Mode: xfd.ModeOriginal, PoolSize: 4 << 20}, target)
+	return err
+}
+
+func detectBug3() error {
+	fmt.Println("\n== part 2: the paper's Bug 3 under detection ==")
+	for _, buggy := range []bool{false, true} {
+		opts := pmredis.Options{InitRaceBug: buggy}
+		name := "redis-correct-init"
+		if buggy {
+			name = "redis-bug3"
+		}
+		target := xfd.Target{
+			Name: name,
+			Pre: func(c *xfd.Ctx) error {
+				db, err := pmredis.Create(c, opts) // initPersistentMemory
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := db.Do(fmt.Sprintf("SET key:%d val:%d", i, i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Post: func(c *xfd.Ctx) error {
+				db, err := pmredis.Open(c, opts)
+				if err != nil {
+					return nil // pool not created yet: server starts fresh
+				}
+				if _, err := db.Do("DBSIZE"); err != nil { // the Bug 3 read
+					return err
+				}
+				return db.Verify()
+			},
+		}
+		res, err := xfd.Run(xfd.Config{PoolSize: 4 << 20}, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s", res)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/pmemgo/xfdetector
+
+go 1.22

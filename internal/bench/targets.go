@@ -1,0 +1,153 @@
+// Package bench assembles the detection targets and experiment drivers
+// that regenerate every table and figure of the paper's evaluation (§6).
+// It is shared by cmd/xfdbench, cmd/xfdetector and the repository's
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmcache"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/workloads"
+)
+
+// RedisTarget drives the mini PM-Redis the way §6.1 drives Intel's
+// pmem-redis: query-processing updates as the pre-failure stage, server
+// restart (open + recovery + one query) as the post-failure stage.
+func RedisTarget(opts pmredis.Options, cfg workloads.TargetConfig) core.Target {
+	return core.Target{
+		Name: "Redis",
+		Pre: func(c *core.Ctx) error {
+			db, err := pmredis.Create(c, opts)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < cfg.InitSize+cfg.TestSize; i++ {
+				if _, err := db.Do(fmt.Sprintf("SET key:%d val:%d", i, i)); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
+				if _, err := db.Do(fmt.Sprintf("DEL key:%d", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Post: func(c *core.Ctx) error {
+			db, err := pmredis.Open(c, opts)
+			if err != nil {
+				return nil // creation had not committed; server starts fresh
+			}
+			if _, err := db.Do("DBSIZE"); err != nil {
+				return err
+			}
+			if !cfg.PostOps {
+				return nil
+			}
+			if _, err := db.Do("SET resumed yes"); err != nil {
+				return err
+			}
+			return db.Verify()
+		},
+	}
+}
+
+// MemcachedTarget drives the mini PM-Memcached analogously.
+func MemcachedTarget(cfg workloads.TargetConfig) core.Target {
+	return core.Target{
+		Name: "Memcached",
+		Pre: func(c *core.Ctx) error {
+			m, err := pmcache.Create(c)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < cfg.InitSize+cfg.TestSize; i++ {
+				if _, err := m.Do(fmt.Sprintf("set key%d val%d", i, i)); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
+				if _, err := m.Do(fmt.Sprintf("set key%d updated%d", i, i)); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
+				if _, err := m.Do(fmt.Sprintf("delete key%d", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Post: func(c *core.Ctx) error {
+			m, err := pmcache.Open(c)
+			if err != nil {
+				return nil // pool or cache not created yet
+			}
+			if _, err := m.Do("get key1"); err != nil {
+				return err
+			}
+			if !cfg.PostOps {
+				return nil
+			}
+			if _, err := m.Do("set resumed yes"); err != nil {
+				return err
+			}
+			return m.Verify()
+		},
+	}
+}
+
+// Table4Row is one evaluated program.
+type Table4Row struct {
+	Name   string
+	Type   string // "Transaction" or "Low-level"
+	Target func(cfg workloads.TargetConfig) core.Target
+}
+
+// Table4 returns the evaluated programs of the paper's Table 4: five
+// micro benchmarks plus the two real-world workloads.
+func Table4() []Table4Row {
+	rows := []Table4Row{}
+	for _, m := range workloads.Makers() {
+		m := m
+		typ := "Transaction"
+		if m.Name == "Hashmap-Atomic" {
+			typ = "Low-level"
+		}
+		rows = append(rows, Table4Row{
+			Name: m.Name,
+			Type: typ,
+			Target: func(cfg workloads.TargetConfig) core.Target {
+				return workloads.DetectionTarget(m, cfg)
+			},
+		})
+	}
+	rows = append(rows,
+		Table4Row{
+			Name: "Memcached",
+			Type: "Low-level",
+			Target: func(cfg workloads.TargetConfig) core.Target {
+				return MemcachedTarget(cfg)
+			},
+		},
+		Table4Row{
+			Name: "Redis",
+			Type: "Transaction",
+			Target: func(cfg workloads.TargetConfig) core.Target {
+				return RedisTarget(pmredis.Options{}, cfg)
+			},
+		},
+	)
+	return rows
+}
+
+// DefaultPoolSize is the pool size the experiments run with.
+const DefaultPoolSize = 4 << 20
+
+// Fig12Config is the §6.2.1 configuration: the workload is initialized
+// with one insertion and then tested with one insertion, with one
+// post-failure operation per failure point.
+var Fig12Config = workloads.TargetConfig{InitSize: 1, TestSize: 1, PostOps: true}

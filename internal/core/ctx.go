@@ -1,0 +1,170 @@
+package core
+
+import (
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// Ctx is the handle a tested program receives in each execution stage. It
+// provides access to the persistent memory pool for that stage and the
+// XFDetector software interface of Table 2 of the paper.
+//
+// All annotation functions take the Table 2 (condition, stage) arguments: a
+// call is a no-op unless condition is true and stage matches the stage the
+// Ctx is executing in (trace.BothStages always matches). Programs built on
+// the pmobj library usually only need the RoI controls; the remaining
+// annotations expose crash-consistency semantics of programs built directly
+// on low-level primitives (§5.2).
+type Ctx struct {
+	r     *runner
+	pool  *pmem.Pool
+	stage trace.Stage
+	// failurePoint is the index of the failure point a post-failure Ctx
+	// belongs to; -1 in the pre-failure stage.
+	failurePoint int
+	// postOutsideRoI tracks the RoI nesting for the post-failure stage.
+	postOutsideRoI bool
+}
+
+// Pool returns the persistent memory pool of the current stage. Post-failure
+// stages receive a distinct pool backed by the copied PM image.
+func (c *Ctx) Pool() *pmem.Pool { return c.pool }
+
+// Stage reports which execution stage this Ctx belongs to.
+func (c *Ctx) Stage() trace.Stage { return c.stage }
+
+// FailurePoint returns the index of the failure point that spawned a
+// post-failure stage, or -1 for the pre-failure stage.
+func (c *Ctx) FailurePoint() int { return c.failurePoint }
+
+func (c *Ctx) stageMatches(s trace.Stage) bool {
+	return s == trace.BothStages || s == c.stage
+}
+
+// RoIBegin marks the start of a region-of-interest. In the pre-failure
+// stage, failure points are injected only inside the RoI; in the
+// post-failure stage, only reads inside the RoI are checked.
+func (c *Ctx) RoIBegin(condition bool, stage trace.Stage) {
+	if !condition || !c.stageMatches(stage) {
+		return
+	}
+	c.pool.Announce(trace.RoIBegin, 0, 0, "")
+	switch c.stage {
+	case trace.PreFailure:
+		c.r.roiActive = true
+	case trace.PostFailure:
+		if c.postOutsideRoI {
+			c.pool.ExitSkipDetection()
+			c.postOutsideRoI = false
+		}
+	}
+}
+
+// RoIEnd marks the end of a region-of-interest. Ending the pre-failure RoI
+// injects one final failure point so that the quiescent state at the end of
+// the region is also tested.
+func (c *Ctx) RoIEnd(condition bool, stage trace.Stage) {
+	if !condition || !c.stageMatches(stage) {
+		return
+	}
+	c.pool.Announce(trace.RoIEnd, 0, 0, "")
+	switch c.stage {
+	case trace.PreFailure:
+		if c.r.roiActive {
+			c.r.maybeInjectFinal()
+			c.r.roiActive = false
+		}
+	case trace.PostFailure:
+		if !c.postOutsideRoI {
+			c.pool.EnterSkipDetection()
+			c.postOutsideRoI = true
+		}
+	}
+}
+
+// terminationSignal unwinds a post-failure stage that called
+// CompleteDetection; the runner recovers it.
+type terminationSignal struct{}
+
+// CompleteDetection terminates detection (Table 2). In the pre-failure
+// stage no further failure points are injected; in the post-failure stage
+// the current post-failure execution ends immediately at this annotated
+// termination point.
+func (c *Ctx) CompleteDetection(condition bool, stage trace.Stage) {
+	if !condition || !c.stageMatches(stage) {
+		return
+	}
+	switch c.stage {
+	case trace.PreFailure:
+		c.r.detectionDone = true
+	case trace.PostFailure:
+		panic(terminationSignal{})
+	}
+}
+
+// SkipFailureBegin starts a region in which no failure points are injected,
+// e.g. trusted library code (Table 2). Pre-failure stage only.
+func (c *Ctx) SkipFailureBegin(condition bool) {
+	if !condition || c.stage != trace.PreFailure {
+		return
+	}
+	c.r.skipFailure++
+}
+
+// SkipFailureEnd ends a region started by SkipFailureBegin.
+func (c *Ctx) SkipFailureEnd(condition bool) {
+	if !condition || c.stage != trace.PreFailure {
+		return
+	}
+	if c.r.skipFailure > 0 {
+		c.r.skipFailure--
+	}
+}
+
+// AddFailurePoint injects a failure point here, on demand, regardless of
+// ordering points. Programs using crash-consistency mechanisms whose
+// consistency is not bounded by ordering points (e.g. checksum-based
+// recovery, §5.5) use it to test additional interleavings.
+func (c *Ctx) AddFailurePoint(condition bool) {
+	if !condition || c.stage != trace.PreFailure {
+		return
+	}
+	if c.r.mode() != ModeDetect || c.r.detectionDone || c.r.setupPhase {
+		return
+	}
+	c.r.injectFailureSync()
+}
+
+// SkipDetectionBegin starts a region whose operations the backend does not
+// check (Table 2).
+func (c *Ctx) SkipDetectionBegin(condition bool, stage trace.Stage) {
+	if !condition || !c.stageMatches(stage) {
+		return
+	}
+	c.pool.EnterSkipDetection()
+}
+
+// SkipDetectionEnd ends a region started by SkipDetectionBegin.
+func (c *Ctx) SkipDetectionEnd(condition bool, stage trace.Stage) {
+	if !condition || !c.stageMatches(stage) {
+		return
+	}
+	c.pool.ExitSkipDetection()
+}
+
+// AddCommitVar registers [addr, addr+size) as a commit variable (Table 2).
+// Post-failure reads of it become benign cross-failure races, and its
+// writes delimit the consistent version of associated data (§3.2). Register
+// commit variables before the writes they govern.
+func (c *Ctx) AddCommitVar(addr, size uint64) {
+	c.pool.Announce(trace.RegCommitVar, addr, size, "")
+}
+
+// AddCommitRange associates the address set [addr, addr+size) with the
+// commit variable at [varAddr, varAddr+varSize), registering the variable
+// if needed (Table 2). Associated data is semantically consistent only when
+// last modified between the last two commit writes (Eq. 3).
+func (c *Ctx) AddCommitRange(varAddr, varSize, addr, size uint64) {
+	e := trace.Entry{Kind: trace.RegCommitRange, Addr: varAddr, Size: varSize, Addr2: addr, Size2: size}
+	c.pool.AnnounceEntry(e)
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/shadow"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// Mode selects what the harness does with the tested program. The three
+// modes correspond to the three configurations of Fig. 12b.
+type Mode uint8
+
+const (
+	// ModeDetect runs full XFDetector detection: tracing, failure
+	// injection, post-failure execution and backend checking.
+	ModeDetect Mode = iota
+	// ModeTraceOnly traces PM operations without injecting failures or
+	// detecting bugs — the paper's "Pure Pin" configuration.
+	ModeTraceOnly
+	// ModeOriginal runs the program with no tracing at all.
+	ModeOriginal
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeDetect:
+		return "detect"
+	case ModeTraceOnly:
+		return "trace-only"
+	case ModeOriginal:
+		return "original"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Config parameterizes a detection run.
+type Config struct {
+	// PoolSize is the PM pool size in bytes (default 1 MiB).
+	PoolSize uint64
+	// Mode selects detection, tracing-only, or original execution.
+	Mode Mode
+	// MaxFailurePoints caps the number of injected failure points
+	// (0 = unlimited).
+	MaxFailurePoints int
+	// DisableIPCapture turns off source-location capture; reports then
+	// lack file:line information but tracing is cheaper.
+	DisableIPCapture bool
+	// KeepTrace retains the pre-failure trace in the Result (required by
+	// the baseline pre-failure-only checkers).
+	KeepTrace bool
+	// DisablePerfBugs suppresses performance-bug reports.
+	DisablePerfBugs bool
+	// DisableFailurePointElision turns off the §5.4 optimization that
+	// skips failure points between ordering points with no PM operations
+	// in between. For ablation measurements.
+	DisableFailurePointElision bool
+	// Workers enables parallelized detection (the future work of §6.2.1):
+	// with Workers > 1, post-failure executions run on that many worker
+	// goroutines, each replaying the pre-failure trace into a private
+	// shadow PM. The report set is identical to sequential detection; the
+	// Result's PostSeconds then sums worker time, which overlaps the
+	// pre-failure stage.
+	Workers int
+	// MaxPostOps bounds each post-failure execution to this many traced PM
+	// operations (0 = a generous default). A recovery or resumption that
+	// exceeds the budget is almost certainly looping on corrupted state —
+	// the hang-forever analogue of the paper's segmentation-fault scenario
+	// — and is reported as a post-failure fault so detection can continue.
+	MaxPostOps int
+}
+
+// defaultMaxPostOps bounds a post-failure run; real recoveries in the
+// evaluated workloads stay well under 10^5 operations.
+const defaultMaxPostOps = 1 << 20
+
+// postBudgetExceeded unwinds a runaway post-failure stage; the runner
+// converts it into a PostFailureFault report.
+type postBudgetExceeded struct{ ops int }
+
+const defaultPoolSize = 1 << 20
+
+// Target is a program under test.
+type Target struct {
+	// Name identifies the target in results.
+	Name string
+	// Setup initializes the PM image before testing starts (the
+	// artifact's INITSIZE insertions). It is traced but no failure points
+	// are injected during it. Optional.
+	Setup func(*Ctx) error
+	// Pre is the pre-failure stage: the execution into which failure
+	// points are injected. Required.
+	Pre func(*Ctx) error
+	// Post is the post-failure stage: recovery plus resumption, executed
+	// once per failure point on a copy of the PM image. Optional (without
+	// it only pre-failure performance bugs are detectable).
+	Post func(*Ctx) error
+	// ExplicitRoI declares that the target calls RoIBegin/RoIEnd itself.
+	// When false (the default, used by the micro benchmarks), the entire
+	// pre-failure stage is the RoI and the entire post-failure stage is
+	// checked (§6.1).
+	ExplicitRoI bool
+}
+
+// Run executes one detection run of t under cfg.
+//
+// It returns an error only for harness-level failures (a nil Pre, or Setup
+// or Pre failing); bugs in the tested program — including post-failure
+// stages that crash — are reported in the Result.
+func Run(cfg Config, t Target) (*Result, error) {
+	if t.Pre == nil {
+		return nil, errors.New("core: target has no pre-failure stage")
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = defaultPoolSize
+	}
+	r := &runner{cfg: cfg, target: t, reports: newReportSet()}
+	r.pool = pmem.New(t.Name, int(cfg.PoolSize))
+	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
+	if cfg.Mode == ModeDetect && cfg.Workers > 1 {
+		// Parallel detection replays the pre-failure trace in the
+		// workers, so the trace must be kept.
+		r.cfg.KeepTrace = true
+	}
+	if cfg.Mode != ModeOriginal {
+		if r.cfg.KeepTrace {
+			r.keptTrace = trace.New()
+		}
+		r.pool.SetSink((*preSink)(r))
+	}
+	if cfg.Mode == ModeDetect {
+		r.sh = shadow.NewPM(r.pool.Size())
+		if !cfg.DisablePerfBugs {
+			r.sh.SetPerfBugHandler(r.onPerfBug)
+		}
+		r.pool.SetFenceHook(r.onOrderingPoint)
+		if cfg.Workers > 1 {
+			r.engine = newParallelEngine(r, cfg.Workers)
+		}
+	}
+	r.roiActive = !t.ExplicitRoI
+
+	start := time.Now()
+	ctx := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
+	if t.Setup != nil {
+		r.setupPhase = true
+		if err := t.Setup(ctx); err != nil {
+			return nil, fmt.Errorf("core: setup failed: %w", err)
+		}
+		r.setupPhase = false
+	}
+	if err := t.Pre(ctx); err != nil {
+		if r.engine != nil {
+			r.engine.close()
+		}
+		return nil, fmt.Errorf("core: pre-failure stage failed: %w", err)
+	}
+	if r.roiActive {
+		r.maybeInjectFinal()
+	}
+	if r.engine != nil {
+		r.engine.close()
+	}
+	total := time.Since(start)
+
+	preSeconds := (total - r.postTime).Seconds()
+	if preSeconds < 0 {
+		preSeconds = 0 // parallel workers overlap the pre-failure stage
+	}
+	res := &Result{
+		Target:        t.Name,
+		Reports:       r.reports.snapshot(),
+		FailurePoints: r.failurePoints,
+		PostRuns:      r.postRuns,
+		PreEntries:    r.preEntries,
+		PostEntries:   r.postEntries,
+		BenignReads:   r.benign,
+		PostSeconds:   r.postTime.Seconds(),
+		PreSeconds:    preSeconds,
+	}
+	res.trace = r.keptTrace
+	return res, nil
+}
+
+// runner holds the mutable state of one detection run.
+type runner struct {
+	cfg     Config
+	target  Target
+	pool    *pmem.Pool
+	sh      *shadow.PM
+	reports *reportSet
+
+	keptTrace   *trace.Trace
+	preEntries  int
+	postEntries int
+	benign      uint64
+
+	failurePoints int
+	postRuns      int
+	opsSinceFP    int
+	opsEver       int
+
+	roiActive     bool
+	skipFailure   int
+	detectionDone bool
+	setupPhase    bool
+
+	// engine is non-nil when parallel detection is enabled.
+	engine *parallelEngine
+
+	// sinkMu serializes trace recording and failure injection, so
+	// multithreaded mutators are traced safely (§7: the paper's frontend
+	// is thread-safe via Pin's locking primitives). As in the paper,
+	// failure injection assumes threads perform independent operations;
+	// collaborative concurrent updates to one PM object are out of scope.
+	sinkMu sync.Mutex
+
+	postTime time.Duration
+}
+
+func (r *runner) mode() Mode { return r.cfg.Mode }
+
+func (r *runner) maxPostOps() int {
+	if r.cfg.MaxPostOps > 0 {
+		return r.cfg.MaxPostOps
+	}
+	return defaultMaxPostOps
+}
+
+// preSink receives the pre-failure trace. It is the runner itself, typed
+// separately so the Record method does not pollute runner's method set.
+type preSink runner
+
+// Record implements pmem.Sink for the pre-failure stage: count, keep,
+// replay into the shadow PM, and track operations for the
+// elide-empty-failure-interval optimization (§5.4).
+func (s *preSink) Record(e trace.Entry) {
+	r := (*runner)(s)
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	r.recordLocked(e)
+}
+
+// recordLocked is Record's body; callers hold sinkMu.
+func (r *runner) recordLocked(e trace.Entry) {
+	r.preEntries++
+	if r.keptTrace != nil {
+		r.keptTrace.Append(e)
+	}
+	if r.sh != nil {
+		r.sh.Apply(e)
+	}
+	switch e.Kind {
+	case trace.Write, trace.NTStore, trace.CLWB, trace.CLFlush,
+		trace.TxAdd, trace.TxAlloc, trace.TxFree, trace.AtomicAlloc:
+		r.opsSinceFP++
+		r.opsEver++
+	}
+}
+
+func (r *runner) onPerfBug(b shadow.PerfBug) {
+	r.reports.add(Report{
+		Class:        Performance,
+		Addr:         b.Addr,
+		Size:         b.Size,
+		ReaderIP:     b.IP,
+		FailurePoint: -1,
+		PerfKind:     b.Kind,
+	})
+}
+
+// onOrderingPoint runs immediately before each SFence (§4.2): persistent
+// data can only become consistent after an ordering point, so checking
+// right before each one covers all distinguishable failure states.
+func (r *runner) onOrderingPoint() {
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	if r.cfg.Mode != ModeDetect || r.detectionDone || r.setupPhase ||
+		!r.roiActive || r.skipFailure > 0 {
+		return
+	}
+	// Optimization (§5.4): no PM operations since the last failure point
+	// means the PM state is unchanged; skip the redundant failure point.
+	if r.opsSinceFP == 0 && !r.cfg.DisableFailurePointElision {
+		return
+	}
+	if r.cfg.MaxFailurePoints > 0 && r.failurePoints >= r.cfg.MaxFailurePoints {
+		r.detectionDone = true
+		return
+	}
+	r.injectFailure()
+}
+
+// maybeInjectFinal injects one failure point at the end of the pre-failure
+// RoI, testing the quiescent state after the last ordering point.
+func (r *runner) maybeInjectFinal() {
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	if r.cfg.Mode != ModeDetect || r.detectionDone || r.opsEver == 0 {
+		return
+	}
+	r.injectFailure()
+}
+
+// injectFailureSync is the entry point for on-demand failure points
+// (Ctx.AddFailurePoint).
+func (r *runner) injectFailureSync() {
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	r.injectFailure()
+}
+
+// injectFailure suspends the pre-failure execution, copies the PM image and
+// spawns the post-failure stage on the copy (Fig. 8 steps 2–6) — inline in
+// sequential mode, on a worker in parallel mode. Callers hold sinkMu, so
+// concurrent mutator threads are suspended for the duration, like the
+// paper's frontend suspending the program at the failure point.
+func (r *runner) injectFailure() {
+	fpID := r.failurePoints
+	r.failurePoints++
+	r.opsSinceFP = 0
+	r.recordLocked(trace.Entry{Kind: trace.FailurePoint, Stage: trace.PreFailure})
+	if r.target.Post == nil {
+		return
+	}
+	if r.engine != nil {
+		r.postRuns++
+		pos := r.keptTrace.Len()
+		r.engine.submit(fpWork{
+			id:       fpID,
+			tracePos: pos,
+			entries:  r.keptTrace.Slice(0, pos),
+			image:    r.pool.Snapshot(),
+		})
+		return
+	}
+	start := time.Now()
+	r.runPost(fpID)
+	r.postTime += time.Since(start)
+}
+
+func (r *runner) runPost(fpID int) {
+	r.postRuns++
+	// The image copy contains ALL updates, including non-persisted ones
+	// (footnote 3); the shadow PM is what distinguishes them.
+	post := pmem.FromImage(r.pool.Name()+"@post", r.pool.Snapshot())
+	post.SetStage(trace.PostFailure)
+	post.SetIPCapture(!r.cfg.DisableIPCapture)
+	checker := r.sh.BeginPostCheck()
+	post.SetSink(&postSink{r: r, checker: checker, fpID: fpID})
+	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: fpID}
+	if r.target.ExplicitRoI {
+		// Outside the post-failure RoI nothing is checked; RoIBegin
+		// re-enables checking.
+		post.EnterSkipDetection()
+		ctx.postOutsideRoI = true
+	}
+	err := r.safePost(ctx)
+	r.benign += checker.Benign
+	if err != nil {
+		r.reports.add(Report{
+			Class:        PostFailureFault,
+			FailurePoint: fpID,
+			Message:      err.Error(),
+		})
+	}
+}
+
+// safePost runs the post-failure stage, converting panics into
+// post-failure faults: a crashing recovery (the paper's segmentation-fault
+// scenario in Fig. 1, or its Bug 4 failed pool open) is itself an
+// observable cross-failure bug, as is one that spins past its operation
+// budget.
+func (r *runner) safePost(ctx *Ctx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch v := p.(type) {
+			case terminationSignal:
+				return
+			case postBudgetExceeded:
+				err = fmt.Errorf("post-failure stage exceeded %d PM operations (likely an infinite loop on inconsistent state)", v.ops)
+			default:
+				err = fmt.Errorf("post-failure stage crashed: %v", p)
+			}
+		}
+	}()
+	return r.target.Post(ctx)
+}
+
+// postSink receives the post-failure trace of one failure point and checks
+// it against the shadow PM.
+type postSink struct {
+	r       *runner
+	checker *shadow.PostChecker
+	fpID    int
+	ents    int
+}
+
+// Record implements pmem.Sink for a post-failure stage. It runs on the
+// goroutine executing the post-failure stage, so exceeding the operation
+// budget can unwind that stage directly by panicking.
+func (s *postSink) Record(e trace.Entry) {
+	r := s.r
+	s.ents++
+	if s.ents > r.maxPostOps() {
+		panic(postBudgetExceeded{ops: s.ents})
+	}
+	r.postEntries++
+	switch e.Kind {
+	case trace.Write, trace.NTStore:
+		// Post-failure writes overwrite the old data; the range becomes
+		// consistent for the rest of this post-failure run (§5.4).
+		s.checker.OnWrite(e.Addr, e.Size)
+	case trace.Read:
+		if e.SkipDetection {
+			return
+		}
+		for _, f := range s.checker.OnRead(e.Addr, e.Size) {
+			class := CrossFailureRace
+			if f.Class == shadow.ClassSemantic {
+				class = CrossFailureSemantic
+			}
+			r.reports.add(Report{
+				Class:        class,
+				Addr:         f.Addr,
+				Size:         f.Size,
+				ReaderIP:     e.IP,
+				WriterIP:     f.WriterIP,
+				FailurePoint: s.fpID,
+			})
+		}
+	case trace.RegCommitVar, trace.RegCommitRange:
+		// Recovery code may (re-)register commit variables, e.g. when
+		// reopening a pool; registrations are idempotent.
+		r.sh.Apply(e)
+	}
+}

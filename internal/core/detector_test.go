@@ -1,0 +1,523 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// Layout of the Fig. 2 / Fig. 11 example: a backup area, a valid bit
+// (commit variable) and a small persistent array.
+const (
+	backupOff = 0x100
+	backupLen = 16
+	validOff  = 0x110
+	validLen  = 4
+	arrOff    = 0x200
+	arrLen    = 64
+)
+
+// figure11Target builds the paper's Fig. 11 demonstration program: the
+// pre-failure stage writes backup and valid, persists both with one
+// barrier, updates the array in place and persists again; the recovery
+// reads valid and, if set, rolls back from backup.
+func figure11Target(name string) Target {
+	return Target{
+		Name: name,
+		Setup: func(c *Ctx) error {
+			c.AddCommitRange(validOff, validLen, backupOff, backupLen)
+			c.AddCommitRange(validOff, validLen, arrOff, arrLen)
+			return nil
+		},
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(backupOff, 0)      // backup.idx = 0
+			p.Store64(backupOff+8, 1111) // backup.val = old arr[0]
+			p.Store32(validOff, 1)       // valid = 1 (commit variable)
+			p.Persist(backupOff, 0x14)   // one barrier covers backup+valid
+			p.Store64(arrOff, 2222)      // arr[0] = new value
+			p.Persist(arrOff, 8)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			p := c.Pool()
+			if p.Load32(validOff) != 0 { // benign commit-variable read
+				v := p.Load64(backupOff + 8) // read backup for rollback
+				p.Store64(arrOff, v)
+			}
+			return nil
+		},
+	}
+}
+
+// TestFigure11StepByStep reproduces the paper's worked example: failure
+// point F1 (before the first barrier) yields a cross-failure race on the
+// backup, and F2 (before the second barrier) yields a cross-failure
+// semantic bug, because backup and valid were persisted by the same fence.
+func TestFigure11StepByStep(t *testing.T) {
+	res, err := Run(Config{}, figure11Target("fig11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if got := res.Count(CrossFailureRace); got != 1 {
+		t.Errorf("cross-failure races = %d, want 1", got)
+	}
+	if got := res.Count(CrossFailureSemantic); got != 1 {
+		t.Errorf("cross-failure semantic bugs = %d, want 1", got)
+	}
+	if got := res.Count(PostFailureFault); got != 0 {
+		t.Errorf("post-failure faults = %d, want 0", got)
+	}
+	// F1 and F2 plus the final quiescent-state failure point.
+	if res.FailurePoints != 3 {
+		t.Errorf("failure points = %d, want 3", res.FailurePoints)
+	}
+	if res.BenignReads == 0 {
+		t.Error("expected benign commit-variable reads to be counted")
+	}
+	for _, r := range res.Reports {
+		if r.Class == CrossFailureRace || r.Class == CrossFailureSemantic {
+			if !strings.Contains(r.ReaderIP, "detector_test.go") {
+				t.Errorf("reader IP %q does not point into the test", r.ReaderIP)
+			}
+			if !strings.Contains(r.WriterIP, "detector_test.go") {
+				t.Errorf("writer IP %q does not point into the test", r.WriterIP)
+			}
+		}
+	}
+}
+
+// figure2FixedTarget is the corrected Fig. 2 protocol (the paper's green
+// box): set valid only after the backup is persisted, clear it after the
+// in-place update is persisted. It must be clean under detection.
+func figure2FixedTarget() Target {
+	return Target{
+		Name: "fig2-fixed",
+		Setup: func(c *Ctx) error {
+			c.AddCommitRange(validOff, validLen, backupOff, backupLen)
+			c.AddCommitRange(validOff, validLen, arrOff, arrLen)
+			p := c.Pool()
+			p.Store64(arrOff, 1111)
+			p.Store32(validOff, 0)
+			p.Persist(arrOff, 8)
+			p.Persist(validOff, validLen)
+			return nil
+		},
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(backupOff, 0)
+			p.Store64(backupOff+8, p.Load64(arrOff))
+			p.Persist(backupOff, backupLen)
+			p.Store32(validOff, 1)
+			p.Persist(validOff, validLen)
+			p.Store64(arrOff, 2222)
+			p.Persist(arrOff, 8)
+			p.Store32(validOff, 0)
+			p.Persist(validOff, validLen)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			p := c.Pool()
+			if p.Load32(validOff) != 0 {
+				v := p.Load64(backupOff + 8)
+				p.Store64(arrOff, v)
+				p.Persist(arrOff, 8)
+				p.Store32(validOff, 0)
+				p.Persist(validOff, validLen)
+			}
+			return nil
+		},
+	}
+}
+
+// TestFigure2FixedIsClean checks the corrected update/recover pair from
+// Fig. 2 survives every failure point without a report.
+func TestFigure2FixedIsClean(t *testing.T) {
+	res, err := Run(Config{}, figure2FixedTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() || res.Count(Performance) != 0 {
+		t.Fatalf("expected clean run, got:\n%s", res)
+	}
+	if res.FailurePoints < 4 {
+		t.Errorf("failure points = %d, want >= 4", res.FailurePoints)
+	}
+}
+
+// TestFigure2BuggyInvertedValid runs the Fig. 2 buggy protocol (valid set
+// to the wrong values): the recovery then always acts on the wrong
+// version, which detection must surface at some failure point.
+func TestFigure2BuggyInvertedValid(t *testing.T) {
+	target := figure2FixedTarget()
+	target.Name = "fig2-buggy"
+	target.Pre = func(c *Ctx) error {
+		p := c.Pool()
+		p.Store64(backupOff, 0)
+		p.Store64(backupOff+8, p.Load64(arrOff))
+		p.Persist(backupOff, backupLen)
+		p.Store32(validOff, 0) // BUG: should set valid = 1
+		p.Persist(validOff, validLen)
+		p.Store64(arrOff, 2222)
+		p.Persist(arrOff, 8)
+		p.Store32(validOff, 1) // BUG: should clear valid
+		p.Persist(validOff, validLen)
+		return nil
+	}
+	res, err := Run(Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if res.Count(CrossFailureSemantic) == 0 {
+		t.Error("expected a cross-failure semantic bug (recovery rolls back with stale backup)")
+	}
+}
+
+// TestModes exercises the three Fig. 12b configurations.
+func TestModes(t *testing.T) {
+	target := figure11Target("modes")
+
+	orig, err := Run(Config{Mode: ModeOriginal}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.PreEntries != 0 || orig.FailurePoints != 0 || len(orig.Reports) != 0 {
+		t.Errorf("original mode must not trace or detect: %+v", orig)
+	}
+
+	pure, err := Run(Config{Mode: ModeTraceOnly, KeepTrace: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.PreEntries == 0 || pure.FailurePoints != 0 || len(pure.Reports) != 0 {
+		t.Errorf("trace-only mode must trace without detecting: %+v", pure)
+	}
+	tr := pure.PreTrace()
+	if tr == nil || tr.Len() != pure.PreEntries {
+		t.Fatalf("kept trace inconsistent with entry count")
+	}
+	counts := tr.Counts()
+	if counts[trace.Write] == 0 || counts[trace.SFence] == 0 {
+		t.Errorf("trace misses writes or fences: %v", counts)
+	}
+
+	full, err := Run(Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FailurePoints == 0 || len(full.Reports) == 0 {
+		t.Errorf("detect mode found nothing: %+v", full)
+	}
+}
+
+// TestMaxFailurePoints verifies the failure-point cap.
+func TestMaxFailurePoints(t *testing.T) {
+	res, err := Run(Config{MaxFailurePoints: 1}, figure11Target("capped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailurePoints != 1 {
+		t.Errorf("failure points = %d, want 1", res.FailurePoints)
+	}
+}
+
+// TestSkipFailureRegion verifies that no failure points are injected inside
+// a skipFailure region (Table 2).
+func TestSkipFailureRegion(t *testing.T) {
+	target := figure11Target("skip-failure")
+	inner := target.Pre
+	target.Pre = func(c *Ctx) error {
+		c.SkipFailureBegin(true)
+		defer c.SkipFailureEnd(true)
+		return inner(c)
+	}
+	res, err := Run(Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the final quiescent-state failure point remains.
+	if res.FailurePoints != 1 {
+		t.Errorf("failure points = %d, want 1 (final only)", res.FailurePoints)
+	}
+}
+
+// TestAddFailurePoint verifies on-demand failure points fire even without
+// an ordering point.
+func TestAddFailurePoint(t *testing.T) {
+	raceDetected := false
+	target := Target{
+		Name: "manual-fp",
+		Pre: func(c *Ctx) error {
+			c.Pool().Store64(0x40, 7)
+			c.AddFailurePoint(true)
+			c.Pool().Persist(0x40, 8)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			c.Pool().Load64(0x40)
+			return nil
+		},
+	}
+	res, err := Run(Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Reports {
+		if r.Class == CrossFailureRace {
+			raceDetected = true
+		}
+	}
+	if !raceDetected {
+		t.Fatalf("manual failure point missed the race:\n%s", res)
+	}
+}
+
+// TestSkipDetectionRegion verifies reads inside a skipDetection region are
+// not checked.
+func TestSkipDetectionRegion(t *testing.T) {
+	target := Target{
+		Name: "skip-detect",
+		Pre: func(c *Ctx) error {
+			c.Pool().Store64(0x40, 7) // never persisted
+			c.Pool().Persist(0x80, 8) // unrelated barrier creates a failure point
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			c.SkipDetectionBegin(true, trace.PostFailure)
+			c.Pool().Load64(0x40)
+			c.SkipDetectionEnd(true, trace.PostFailure)
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("skipDetection region was checked:\n%s", res)
+	}
+}
+
+// TestExplicitRoI verifies that with ExplicitRoI only annotated regions
+// inject failures (pre) and are checked (post).
+func TestExplicitRoI(t *testing.T) {
+	target := Target{
+		Name:        "roi",
+		ExplicitRoI: true,
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(0x40, 1) // outside RoI: no failure injection
+			p.Persist(0x40, 8)
+			c.RoIBegin(true, trace.PreFailure)
+			p.Store64(0x80, 2) // inside RoI, never persisted properly
+			p.Persist(0xC0, 8) // barrier not covering 0x80
+			c.RoIEnd(true, trace.PreFailure)
+			p.Store64(0x100, 3) // outside again
+			p.Persist(0x100, 8)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			p := c.Pool()
+			p.Load64(0x80) // outside post RoI: unchecked
+			c.RoIBegin(true, trace.PostFailure)
+			p.Load64(0x80) // checked: race
+			c.RoIEnd(true, trace.PostFailure)
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if got := res.Count(CrossFailureRace); got != 1 {
+		t.Errorf("races = %d, want exactly 1 (only the in-RoI read)", got)
+	}
+	// One failure point inside the RoI (before Persist(0xC0)) plus the
+	// end-of-RoI point; the persists outside the RoI inject nothing.
+	if res.FailurePoints != 2 {
+		t.Errorf("failure points = %d, want 2", res.FailurePoints)
+	}
+}
+
+// TestPostFailureFault verifies that a crashing post-failure stage is
+// reported as an observable bug rather than aborting detection (the
+// mechanism by which the paper's Bug 4 and the Fig. 1 segmentation fault
+// become visible).
+func TestPostFailureFault(t *testing.T) {
+	target := Target{
+		Name: "crashing-post",
+		Pre: func(c *Ctx) error {
+			c.Pool().Store64(0x40, 7)
+			c.Pool().Persist(0x40, 8)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			var s []int
+			_ = s[3] // index out of range: the segfault analogue
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(PostFailureFault) != 1 {
+		t.Fatalf("post-failure faults = %d, want 1:\n%s", res.Count(PostFailureFault), res)
+	}
+	if res.FailurePoints < 2 {
+		t.Errorf("detection must continue past a crashing post stage, got %d failure points", res.FailurePoints)
+	}
+}
+
+// TestCompleteDetection verifies the termination annotations for both
+// stages.
+func TestCompleteDetection(t *testing.T) {
+	postTruncated := true
+	target := Target{
+		Name: "complete",
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(0x40, 1)
+			p.Persist(0x40, 8)
+			c.CompleteDetection(true, trace.PreFailure)
+			p.Store64(0x80, 2)
+			p.Persist(0x80, 8)
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			c.CompleteDetection(true, trace.PostFailure)
+			postTruncated = false // unreachable
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailurePoints != 1 {
+		t.Errorf("failure points = %d, want 1 (detection completed)", res.FailurePoints)
+	}
+	if !postTruncated {
+		t.Error("post-failure stage ran past its termination point")
+	}
+	if !res.Clean() {
+		t.Errorf("unexpected reports:\n%s", res)
+	}
+}
+
+// TestPerformanceBugRedundantFlush checks the Fig. 9 yellow-edge report.
+func TestPerformanceBugRedundantFlush(t *testing.T) {
+	target := Target{
+		Name: "perf",
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(0x40, 1)
+			p.Persist(0x40, 8)
+			p.Persist(0x40, 8) // redundant: nothing modified
+			return nil
+		},
+	}
+	res, err := Run(Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Count(Performance); got != 1 {
+		t.Fatalf("performance bugs = %d, want 1:\n%s", got, res)
+	}
+	if res.Reports[0].PerfKind != 0 && res.ByClass(Performance)[0].PerfKind.String() != "redundant-writeback" {
+		t.Errorf("unexpected perf kind: %v", res.ByClass(Performance)[0].PerfKind)
+	}
+}
+
+// TestDeduplication verifies repeated identical reader/writer pairs
+// collapse into one report across failure points.
+func TestDeduplication(t *testing.T) {
+	target := Target{
+		Name: "dedup",
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			for i := 0; i < 5; i++ {
+				p.Store64(0x40, uint64(i)) // never flushed
+				p.Persist(0x400, 8)        // unrelated barrier: 5 failure points
+			}
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			c.Pool().Load64(0x40)
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Count(CrossFailureRace); got != 1 {
+		t.Errorf("races = %d, want 1 (deduplicated)", got)
+	}
+	if res.FailurePoints < 5 {
+		t.Errorf("failure points = %d, want >= 5", res.FailurePoints)
+	}
+}
+
+// TestNilPre verifies harness-misuse reporting.
+func TestNilPre(t *testing.T) {
+	if _, err := Run(Config{}, Target{Name: "bad"}); err == nil {
+		t.Fatal("expected error for target without a pre-failure stage")
+	}
+}
+
+// TestEmptyIntervalOptimization verifies that consecutive ordering points
+// with no PM operations in between inject only one failure point (§5.4).
+func TestEmptyIntervalOptimization(t *testing.T) {
+	target := Target{
+		Name: "empty-intervals",
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Store64(0x40, 1)
+			p.CLWB(0x40, 8)
+			p.SFence()
+			p.SFence() // no ops since previous fence: no failure point
+			p.SFence()
+			return nil
+		},
+		Post: func(c *Ctx) error { return nil },
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One before the first fence, plus the final quiescent point.
+	if res.FailurePoints != 2 {
+		t.Errorf("failure points = %d, want 2", res.FailurePoints)
+	}
+}
+
+// TestUninitializedAllocRead models the paper's Bug 2: reading a location
+// that was atomically allocated but never initialized is a cross-failure
+// race (the allocator is not guaranteed to zero or persist it).
+func TestUninitializedAllocRead(t *testing.T) {
+	target := Target{
+		Name: "alloc-uninit",
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			p.Announce(trace.AtomicAlloc, 0x400, 64, "alloc")
+			p.Persist(0x800, 8) // unrelated barrier -> failure point
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			c.Pool().Load64(0x400) // reads potentially uninitialized data
+			return nil
+		},
+	}
+	res, err := Run(Config{DisablePerfBugs: true}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(CrossFailureRace) != 1 {
+		t.Fatalf("expected the uninitialized-allocation race:\n%s", res)
+	}
+}

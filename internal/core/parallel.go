@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/shadow"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// Parallel detection.
+//
+// §6.2.1 of the paper observes that the repeated post-failure execution is
+// the dominant cost and that "the post-failure executions are independent
+// as they operate on a copy of the original PM image, and therefore, can
+// be parallelized. We leave the parallelized detection as a future work."
+// This file implements that future work.
+//
+// With Config.Workers > 1, the fence hook no longer runs the post-failure
+// stage inline. Instead it captures a work item — the failure point's id,
+// the pre-failure trace position, and a copy of the PM image — and hands
+// it to one of W workers, sharded round-robin so each worker sees its
+// failure points in increasing trace order. Every worker owns a private
+// shadow PM that it advances by replaying the shared pre-failure trace up
+// to each item's position, reproducing exactly the state the sequential
+// backend would have had; it then executes the post-failure stage on the
+// image copy and checks it against that shadow. Each worker's queue is
+// bounded, so at most a few image copies are in flight per worker and the
+// pre-failure execution back-pressures instead of exhausting memory.
+//
+// Reports are deduplicated across workers by the same reader/writer key as
+// in sequential mode, so the report set is identical; only discovery order
+// may differ.
+
+// fpWork is one failure point captured for asynchronous checking. The
+// entries slice is captured on the pre-failure thread: it aliases a stable
+// prefix of the trace's backing array (appends only touch indices beyond
+// it, or reallocate into a fresh array), so workers may read it freely.
+type fpWork struct {
+	id       int
+	tracePos int
+	entries  []trace.Entry
+	image    []byte
+}
+
+// parallelEngine coordinates the worker pool of one detection run.
+type parallelEngine struct {
+	r       *runner
+	workers []*postWorker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	postTime time.Duration // summed wall time inside workers
+	benign   uint64
+	postEnts int
+}
+
+// postWorker checks the failure points of one shard.
+type postWorker struct {
+	eng   *parallelEngine
+	queue chan fpWork
+	sh    *shadow.PM
+	// replayed is the number of pre-failure trace entries already applied
+	// to this worker's shadow.
+	replayed int
+}
+
+const workerQueueDepth = 2
+
+func newParallelEngine(r *runner, workers int) *parallelEngine {
+	eng := &parallelEngine{r: r}
+	for i := 0; i < workers; i++ {
+		w := &postWorker{
+			eng:   eng,
+			queue: make(chan fpWork, workerQueueDepth),
+			sh:    shadow.NewPM(r.pool.Size()),
+		}
+		eng.workers = append(eng.workers, w)
+		eng.wg.Add(1)
+		go w.run()
+	}
+	return eng
+}
+
+// submit hands a failure point to its shard, blocking when the shard's
+// queue is full (back-pressure on the pre-failure execution).
+func (e *parallelEngine) submit(w fpWork) {
+	e.workers[w.id%len(e.workers)].queue <- w
+}
+
+// close drains the workers and folds their statistics into the runner.
+func (e *parallelEngine) close() {
+	for _, w := range e.workers {
+		close(w.queue)
+	}
+	e.wg.Wait()
+	r := e.r
+	r.postTime += e.postTime
+	r.benign += e.benign
+	r.postEntries += e.postEnts
+}
+
+func (w *postWorker) run() {
+	defer w.eng.wg.Done()
+	for item := range w.queue {
+		start := time.Now()
+		w.check(item)
+		elapsed := time.Since(start)
+		w.eng.mu.Lock()
+		w.eng.postTime += elapsed
+		w.eng.mu.Unlock()
+	}
+}
+
+// check advances the worker's shadow to the failure point and runs the
+// post-failure stage against it.
+func (w *postWorker) check(item fpWork) {
+	r := w.eng.r
+	// Advance this worker's shadow to the failure point by replaying the
+	// not-yet-seen part of the captured trace prefix.
+	for _, e := range item.entries[w.replayed:] {
+		w.sh.Apply(e)
+	}
+	w.replayed = item.tracePos
+
+	post := pmem.FromImage(r.pool.Name()+"@post", item.image)
+	post.SetStage(trace.PostFailure)
+	post.SetIPCapture(!r.cfg.DisableIPCapture)
+	checker := w.sh.BeginPostCheck()
+	sink := &parallelPostSink{eng: w.eng, checker: checker, fpID: item.id, sh: w.sh}
+	post.SetSink(sink)
+	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: item.id}
+	if r.target.ExplicitRoI {
+		post.EnterSkipDetection()
+		ctx.postOutsideRoI = true
+	}
+	err := safePostCall(r.target.Post, ctx)
+	w.eng.mu.Lock()
+	w.eng.benign += checker.Benign
+	w.eng.postEnts += sink.ents % 64 // remainder of the batched counter
+	w.eng.mu.Unlock()
+	if err != nil {
+		r.reports.add(Report{Class: PostFailureFault, FailurePoint: item.id, Message: err.Error()})
+	}
+}
+
+// safePostCall mirrors runner.safePost for worker goroutines.
+func safePostCall(post func(*Ctx) error, ctx *Ctx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch v := p.(type) {
+			case terminationSignal:
+				return
+			case postBudgetExceeded:
+				err = fmt.Errorf("post-failure stage exceeded %d PM operations (likely an infinite loop on inconsistent state)", v.ops)
+			default:
+				err = fmt.Errorf("post-failure stage crashed: %v", p)
+			}
+		}
+	}()
+	return post(ctx)
+}
+
+// parallelPostSink is the worker-side postSink: identical classification,
+// but reports flow through the engine mutex into the shared set.
+type parallelPostSink struct {
+	eng     *parallelEngine
+	checker *shadow.PostChecker
+	sh      *shadow.PM
+	fpID    int
+	ents    int
+}
+
+// Record implements pmem.Sink. It runs on the worker goroutine executing
+// the post-failure stage, so the operation budget unwinds that stage by
+// panicking, exactly as in sequential mode.
+func (s *parallelPostSink) Record(e trace.Entry) {
+	s.ents++
+	if s.ents > s.eng.r.maxPostOps() {
+		panic(postBudgetExceeded{ops: s.ents})
+	}
+	if s.ents%64 == 0 { // amortize the shared counter update
+		s.eng.mu.Lock()
+		s.eng.postEnts += 64
+		s.eng.mu.Unlock()
+	}
+	switch e.Kind {
+	case trace.Write, trace.NTStore:
+		s.checker.OnWrite(e.Addr, e.Size)
+	case trace.Read:
+		if e.SkipDetection {
+			return
+		}
+		for _, f := range s.checker.OnRead(e.Addr, e.Size) {
+			class := CrossFailureRace
+			if f.Class == shadow.ClassSemantic {
+				class = CrossFailureSemantic
+			}
+			rep := Report{
+				Class:        class,
+				Addr:         f.Addr,
+				Size:         f.Size,
+				ReaderIP:     e.IP,
+				WriterIP:     f.WriterIP,
+				FailurePoint: s.fpID,
+			}
+			s.eng.mu.Lock()
+			s.eng.r.reports.add(rep)
+			s.eng.mu.Unlock()
+		}
+	case trace.RegCommitVar, trace.RegCommitRange:
+		// Worker-local: recovery re-registrations are idempotent and the
+		// pre-failure trace already carries the originals.
+		s.sh.Apply(e)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDetectorSoundnessProperty: a randomly generated program whose every
+// write is immediately followed by a persist barrier, and whose
+// post-failure stage only reads addresses written that way, never produces
+// a report (property-based absence of false positives).
+func TestDetectorSoundnessProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nOps%24) + 1
+		// Disjoint cache lines so persists cannot mask each other.
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 64
+		}
+		target := Target{
+			Name: "sound",
+			Pre: func(c *Ctx) error {
+				p := c.Pool()
+				for _, a := range addrs {
+					p.Store64(a, r.Uint64())
+					p.Persist(a, 8)
+				}
+				return nil
+			},
+			Post: func(c *Ctx) error {
+				p := c.Pool()
+				for _, a := range addrs {
+					// A failure can land between any store and its fence,
+					// so a recovery that blindly read these addresses
+					// would race; the correct pattern overwrites before
+					// reading (recover_alt), which must always be clean.
+					p.Store64(a, 0)
+					p.Load64(a)
+				}
+				return nil
+			},
+		}
+		res, err := Run(Config{PoolSize: 1 << 16}, target)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return len(res.Reports) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectorCompletenessProperty: planting one never-persisted write at
+// a random position in an otherwise persisted program, with a post-failure
+// read of it, is always reported as exactly one cross-failure race
+// (property-based: no seeded bug escapes, no spurious extras).
+func TestDetectorCompletenessProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nOps%16) + 2
+		buggy := r.Intn(n)
+		addr := func(i int) uint64 { return uint64(i) * 64 }
+		target := Target{
+			Name: "complete",
+			Pre: func(c *Ctx) error {
+				p := c.Pool()
+				for i := 0; i < n; i++ {
+					p.Store64(addr(i), uint64(i)+1)
+					if i != buggy {
+						p.Persist(addr(i), 8)
+					}
+				}
+				// A final unrelated barrier guarantees at least one
+				// failure point after the buggy write.
+				p.Store64(addr(n), 1)
+				p.Persist(addr(n), 8)
+				return nil
+			},
+			Post: func(c *Ctx) error {
+				c.Pool().Load64(addr(buggy))
+				return nil
+			},
+		}
+		res, err := Run(Config{PoolSize: 1 << 16, DisablePerfBugs: true}, target)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		races := res.Count(CrossFailureRace)
+		others := len(res.Reports) - races
+		if races != 1 || others != 0 {
+			t.Logf("n=%d buggy=%d: races=%d others=%d", n, buggy, races, others)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitVarOrderingProperty: for a commit-variable-guarded slot pair,
+// the update protocol "write slot; persist; write index; persist" is clean
+// for any number of updates, while merging the two barriers is always
+// reported as a semantic bug at some failure point (property-based Eq. 3
+// check).
+func TestCommitVarOrderingProperty(t *testing.T) {
+	const (
+		idxOff   = 0
+		slot0Off = 64
+		slot1Off = 128
+	)
+	slot := func(i uint64) uint64 {
+		if i%2 == 0 {
+			return slot0Off
+		}
+		return slot1Off
+	}
+	build := func(updates int, merged bool) Target {
+		return Target{
+			Name: "cv-prop",
+			Setup: func(c *Ctx) error {
+				c.AddCommitRange(idxOff, 8, slot0Off, 128)
+				p := c.Pool()
+				p.Store64(slot0Off, 1)
+				p.Persist(slot0Off, 8)
+				p.Store64(idxOff, 0)
+				p.Persist(idxOff, 8)
+				return nil
+			},
+			Pre: func(c *Ctx) error {
+				p := c.Pool()
+				for u := 1; u <= updates; u++ {
+					next := p.Load64(idxOff) + 1
+					p.Store64(slot(next), uint64(u)*100)
+					if merged {
+						// BUG: slot and commit write share one barrier.
+						p.Store64(idxOff, next)
+						p.CLWB(slot(next), 8)
+						p.CLWB(idxOff, 8)
+						p.SFence()
+					} else {
+						p.Persist(slot(next), 8)
+						p.Store64(idxOff, next)
+						p.Persist(idxOff, 8)
+					}
+				}
+				return nil
+			},
+			Post: func(c *Ctx) error {
+				p := c.Pool()
+				cur := p.Load64(idxOff) // benign
+				p.Load64(slot(cur))
+				return nil
+			},
+		}
+	}
+	f := func(u uint8) bool {
+		updates := int(u%5) + 1
+		clean, err := Run(Config{PoolSize: 1 << 16}, build(updates, false))
+		if err != nil || len(clean.Reports) != 0 {
+			t.Logf("clean protocol flagged (updates=%d): %v %v", updates, err, clean.Reports)
+			return false
+		}
+		merged, err := Run(Config{PoolSize: 1 << 16}, build(updates, true))
+		if err != nil || merged.Count(CrossFailureSemantic) == 0 {
+			t.Logf("merged-barrier bug missed (updates=%d)", updates)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,541 @@
+// Package mechanisms implements the six crash-consistency mechanisms of
+// the paper's Table 1 — undo logging, redo logging, checkpointing, shadow
+// paging, operational logging, and checksum-based recovery — as small,
+// self-contained persistent records with an update and a recovery side.
+//
+// Each mechanism maintains a fixed-size payload (a "record" of eight
+// uint64s) and guarantees that after any failure the recovered payload is
+// one of the two adjacent versions and internally consistent. The paper's
+// data-consistency column of Table 1 maps directly onto which PM locations
+// each recovery is allowed to read:
+//
+//   - undo logging: the update if committed, else the log;
+//   - redo logging: the committed log, else the existing data;
+//   - checkpointing: the latest committed checkpoint;
+//   - shadow paging: the object the persistent pointer commits to;
+//   - operational logging: the logged operations, re-executed;
+//   - checksums: whatever version the checksum validates (requiring the
+//     extra failure points of §5.5, injected with AddFailurePoint).
+//
+// Every mechanism has a Buggy flag that breaks its characteristic ordering,
+// so the detection tests can show XFDetector flags each one.
+package mechanisms
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// PayloadWords is the record size in uint64s.
+const PayloadWords = 8
+
+// Payload is the value a mechanism keeps crash-consistent. Consistent
+// payloads satisfy Check.
+type Payload [PayloadWords]uint64
+
+// MakePayload derives a consistent payload from a seed: seven words plus a
+// sum word, so torn payloads are observable.
+func MakePayload(seed uint64) Payload {
+	var p Payload
+	sum := uint64(0)
+	for i := 0; i < PayloadWords-1; i++ {
+		p[i] = seed*1000 + uint64(i)
+		sum += p[i]
+	}
+	p[PayloadWords-1] = sum
+	return p
+}
+
+// Check reports whether the payload is internally consistent.
+func (p Payload) Check() error {
+	sum := uint64(0)
+	for i := 0; i < PayloadWords-1; i++ {
+		sum += p[i]
+	}
+	if p[PayloadWords-1] != sum {
+		return fmt.Errorf("mechanisms: torn payload %v", p)
+	}
+	return nil
+}
+
+// Seed extracts the seed a consistent payload was built from.
+func (p Payload) Seed() uint64 { return p[0] / 1000 }
+
+// Mechanism is one Table 1 crash-consistency mechanism operating on a
+// region of PM starting at Base.
+type Mechanism interface {
+	// Name is the Table 1 row name.
+	Name() string
+	// Init writes the initial payload (pre-failure, before the RoI).
+	Init(c *core.Ctx, p Payload)
+	// Update replaces the payload crash-consistently.
+	Update(c *core.Ctx, p Payload)
+	// Recover restores and returns a consistent payload after a failure.
+	Recover(c *core.Ctx) (Payload, error)
+	// SetBuggy breaks the mechanism's characteristic ordering.
+	SetBuggy(bool)
+}
+
+// region lays the mechanisms' records out; each mechanism gets a disjoint
+// 1 KiB region so one pool can host any of them.
+const (
+	regionSize  = 1024
+	payloadSize = PayloadWords * 8
+)
+
+func storePayload(p *pmem.Pool, off uint64, v Payload) {
+	for i, w := range v {
+		p.Store64(off+uint64(i)*8, w)
+	}
+}
+
+func loadPayload(p *pmem.Pool, off uint64) Payload {
+	var v Payload
+	for i := range v {
+		v[i] = p.Load64(off + uint64(i)*8)
+	}
+	return v
+}
+
+// All returns one instance of each mechanism, at staggered pool offsets.
+func All() []Mechanism {
+	return []Mechanism{
+		NewUndoLog(1 * regionSize),
+		NewRedoLog(2 * regionSize),
+		NewCheckpoint(3 * regionSize),
+		NewShadowPaging(4 * regionSize),
+		NewOpLog(5 * regionSize),
+		NewChecksum(6 * regionSize),
+	}
+}
+
+// UndoLog is Table 1 row 1: back up the old data, set the log valid bit,
+// update in place, clear the valid bit — the corrected Fig. 2 protocol.
+// Layout: data | log | valid.
+type UndoLog struct {
+	base  uint64
+	buggy bool
+}
+
+// NewUndoLog returns an undo-logged record at base.
+func NewUndoLog(base uint64) *UndoLog { return &UndoLog{base: base} }
+
+// Name implements Mechanism.
+func (u *UndoLog) Name() string { return "undo-logging" }
+
+// SetBuggy implements Mechanism: the buggy variant sets the valid bit with
+// the same barrier that persists the log (Fig. 11's F2 situation).
+func (u *UndoLog) SetBuggy(b bool) { u.buggy = b }
+
+func (u *UndoLog) dataOff() uint64  { return u.base }
+func (u *UndoLog) logOff() uint64   { return u.base + 128 }
+func (u *UndoLog) validOff() uint64 { return u.base + 256 }
+
+// Init implements Mechanism.
+func (u *UndoLog) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	c.AddCommitRange(u.validOff(), 8, u.logOff(), payloadSize)
+	storePayload(p, u.dataOff(), v)
+	p.Persist(u.dataOff(), payloadSize)
+	p.Store64(u.validOff(), 0)
+	p.Persist(u.validOff(), 8)
+}
+
+// Update implements Mechanism.
+func (u *UndoLog) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	// Back up the old data, persist, then commit the log.
+	p.Copy(u.logOff(), u.dataOff(), payloadSize)
+	if u.buggy {
+		// BUG: the valid bit persists with the log — nothing orders the
+		// backup before its commit.
+		p.Store64(u.validOff(), 1)
+		p.CLWB(u.logOff(), payloadSize)
+		p.CLWB(u.validOff(), 8)
+		p.SFence()
+	} else {
+		p.Persist(u.logOff(), payloadSize)
+		p.Store64(u.validOff(), 1)
+		p.Persist(u.validOff(), 8)
+	}
+	// In-place update, then release the log.
+	storePayload(p, u.dataOff(), v)
+	p.Persist(u.dataOff(), payloadSize)
+	p.Store64(u.validOff(), 0)
+	p.Persist(u.validOff(), 8)
+}
+
+// Recover implements Mechanism: if the log is valid, the update may be
+// torn — roll back.
+func (u *UndoLog) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	c.AddCommitRange(u.validOff(), 8, u.logOff(), payloadSize)
+	if p.Load64(u.validOff()) != 0 { // benign commit-variable read
+		p.Copy(u.dataOff(), u.logOff(), payloadSize)
+		p.Persist(u.dataOff(), payloadSize)
+		p.Store64(u.validOff(), 0)
+		p.Persist(u.validOff(), 8)
+	}
+	v := loadPayload(p, u.dataOff())
+	return v, v.Check()
+}
+
+// RedoLog is Table 1 row 2: write the new data to the log, commit it, then
+// apply in place. Data consistency: the committed log, otherwise the
+// existing data.
+type RedoLog struct {
+	base  uint64
+	buggy bool
+}
+
+// NewRedoLog returns a redo-logged record at base.
+func NewRedoLog(base uint64) *RedoLog { return &RedoLog{base: base} }
+
+// Name implements Mechanism.
+func (r *RedoLog) Name() string { return "redo-logging" }
+
+// SetBuggy implements Mechanism: the buggy variant applies the update in
+// place before committing the log.
+func (r *RedoLog) SetBuggy(b bool) { r.buggy = b }
+
+func (r *RedoLog) dataOff() uint64   { return r.base }
+func (r *RedoLog) logOff() uint64    { return r.base + 128 }
+func (r *RedoLog) commitOff() uint64 { return r.base + 256 }
+
+// Init implements Mechanism.
+func (r *RedoLog) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	c.AddCommitRange(r.commitOff(), 8, r.logOff(), payloadSize)
+	storePayload(p, r.dataOff(), v)
+	p.Persist(r.dataOff(), payloadSize)
+	p.Store64(r.commitOff(), 0)
+	p.Persist(r.commitOff(), 8)
+}
+
+// Update implements Mechanism.
+func (r *RedoLog) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	if r.buggy {
+		// BUG: in-place update before the log commits; a failure here
+		// leaves torn data and an invalid log.
+		storePayload(p, r.dataOff(), v)
+		p.Persist(r.dataOff(), payloadSize)
+	}
+	storePayload(p, r.logOff(), v)
+	p.Persist(r.logOff(), payloadSize)
+	p.Store64(r.commitOff(), 1)
+	p.Persist(r.commitOff(), 8)
+	if !r.buggy {
+		storePayload(p, r.dataOff(), v)
+		p.Persist(r.dataOff(), payloadSize)
+	}
+	p.Store64(r.commitOff(), 0)
+	p.Persist(r.commitOff(), 8)
+}
+
+// Recover implements Mechanism: a committed log is replayed; an
+// uncommitted one is discarded.
+func (r *RedoLog) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	c.AddCommitRange(r.commitOff(), 8, r.logOff(), payloadSize)
+	if p.Load64(r.commitOff()) != 0 { // benign commit-variable read
+		p.Copy(r.dataOff(), r.logOff(), payloadSize)
+		p.Persist(r.dataOff(), payloadSize)
+		p.Store64(r.commitOff(), 0)
+		p.Persist(r.commitOff(), 8)
+	}
+	v := loadPayload(p, r.dataOff())
+	return v, v.Check()
+}
+
+// Checkpoint is Table 1 row 3: two checkpoint slots and a persistent
+// latest-committed index. Data consistency: the latest committed
+// checkpoint; older checkpoints are persisted yet semantically stale —
+// the paper's canonical cross-failure *semantic* scenario.
+type Checkpoint struct {
+	base  uint64
+	buggy bool
+}
+
+// NewCheckpoint returns a checkpointed record at base.
+func NewCheckpoint(base uint64) *Checkpoint { return &Checkpoint{base: base} }
+
+// Name implements Mechanism.
+func (k *Checkpoint) Name() string { return "checkpointing" }
+
+// SetBuggy implements Mechanism: the buggy recovery reads the *older*
+// checkpoint — persisted data that violates the mechanism's semantics.
+func (k *Checkpoint) SetBuggy(b bool) { k.buggy = b }
+
+func (k *Checkpoint) slotOff(i uint64) uint64 { return k.base + 128 + i*128 }
+func (k *Checkpoint) currentOff() uint64      { return k.base } // commit variable
+
+// Init implements Mechanism.
+func (k *Checkpoint) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	c.AddCommitRange(k.currentOff(), 8, k.slotOff(0), 256)
+	storePayload(p, k.slotOff(0), v)
+	p.Persist(k.slotOff(0), payloadSize)
+	p.Store64(k.currentOff(), 0)
+	p.Persist(k.currentOff(), 8)
+}
+
+// Update implements Mechanism: write the next checkpoint slot, then commit
+// the index.
+func (k *Checkpoint) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	cur := p.Load64(k.currentOff())
+	next := 1 - cur
+	storePayload(p, k.slotOff(next), v)
+	p.Persist(k.slotOff(next), payloadSize)
+	p.Store64(k.currentOff(), next)
+	p.Persist(k.currentOff(), 8)
+}
+
+// Recover implements Mechanism.
+func (k *Checkpoint) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	c.AddCommitRange(k.currentOff(), 8, k.slotOff(0), 256)
+	cur := p.Load64(k.currentOff()) // benign commit-variable read
+	if k.buggy {
+		// BUG: reads the previous checkpoint — persisted but stale.
+		cur = 1 - cur
+	}
+	v := loadPayload(p, k.slotOff(cur))
+	return v, v.Check()
+}
+
+// ShadowPaging is Table 1 row 4: copy-on-write into a shadow object, then
+// swap a persistent pointer. Data consistency: the object the pointer
+// commits to.
+type ShadowPaging struct {
+	base  uint64
+	buggy bool
+}
+
+// NewShadowPaging returns a shadow-paged record at base.
+func NewShadowPaging(base uint64) *ShadowPaging { return &ShadowPaging{base: base} }
+
+// Name implements Mechanism.
+func (s *ShadowPaging) Name() string { return "shadow-paging" }
+
+// SetBuggy implements Mechanism: the buggy variant swaps the pointer
+// before the shadow object is persisted.
+func (s *ShadowPaging) SetBuggy(b bool) { s.buggy = b }
+
+func (s *ShadowPaging) ptrOff() uint64         { return s.base } // commit variable
+func (s *ShadowPaging) objOff(i uint64) uint64 { return s.base + 128 + i*128 }
+func (s *ShadowPaging) indexOf(ptr uint64) uint64 {
+	if ptr == s.objOff(1) {
+		return 1
+	}
+	return 0
+}
+
+// Init implements Mechanism.
+func (s *ShadowPaging) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	c.AddCommitRange(s.ptrOff(), 8, s.objOff(0), 256)
+	storePayload(p, s.objOff(0), v)
+	p.Persist(s.objOff(0), payloadSize)
+	p.Store64(s.ptrOff(), s.objOff(0))
+	p.Persist(s.ptrOff(), 8)
+}
+
+// Update implements Mechanism.
+func (s *ShadowPaging) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	cur := s.indexOf(p.Load64(s.ptrOff()))
+	shadow := s.objOff(1 - cur)
+	storePayload(p, shadow, v)
+	if !s.buggy {
+		p.Persist(shadow, payloadSize)
+	}
+	// BUG (when buggy): the pointer commits to a shadow object whose
+	// content was never written back.
+	p.Store64(s.ptrOff(), shadow)
+	p.Persist(s.ptrOff(), 8)
+}
+
+// Recover implements Mechanism.
+func (s *ShadowPaging) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	c.AddCommitRange(s.ptrOff(), 8, s.objOff(0), 256)
+	ptr := p.Load64(s.ptrOff()) // benign commit-variable read
+	if ptr == 0 {
+		return Payload{}, fmt.Errorf("shadow paging: nil object pointer")
+	}
+	v := loadPayload(p, ptr)
+	return v, v.Check()
+}
+
+// OpLog is Table 1 row 5: log the operation (here: "set seed") rather than
+// the data; recovery re-executes logged operations. Data consistency:
+// logged operations are consistent.
+type OpLog struct {
+	base  uint64
+	buggy bool
+}
+
+// NewOpLog returns an operation-logged record at base.
+func NewOpLog(base uint64) *OpLog { return &OpLog{base: base} }
+
+// Name implements Mechanism.
+func (o *OpLog) Name() string { return "operational-logging" }
+
+// SetBuggy implements Mechanism: the buggy variant marks the operation
+// complete before the in-place result persists.
+func (o *OpLog) SetBuggy(b bool) { o.buggy = b }
+
+func (o *OpLog) dataOff() uint64 { return o.base }
+func (o *OpLog) opOff() uint64   { return o.base + 128 } // {seed, pending}
+func (o *OpLog) pendOff() uint64 { return o.base + 192 } // commit variable
+
+// Init implements Mechanism.
+func (o *OpLog) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	c.AddCommitVar(o.pendOff(), 8)
+	storePayload(p, o.dataOff(), v)
+	p.Persist(o.dataOff(), payloadSize)
+	p.Store64(o.pendOff(), 0)
+	p.Persist(o.pendOff(), 8)
+}
+
+// Update implements Mechanism: log the operation, mark pending, apply,
+// clear.
+func (o *OpLog) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	p.Store64(o.opOff(), v.Seed())
+	p.Persist(o.opOff(), 8)
+	p.Store64(o.pendOff(), 1)
+	p.Persist(o.pendOff(), 8)
+	storePayload(p, o.dataOff(), v)
+	if o.buggy {
+		// BUG: the operation is marked complete without the result ever
+		// being written back, so recovery trusts data that is not
+		// guaranteed persistent.
+		p.Store64(o.pendOff(), 0)
+		p.Persist(o.pendOff(), 8)
+		return
+	}
+	p.Persist(o.dataOff(), payloadSize)
+	p.Store64(o.pendOff(), 0)
+	p.Persist(o.pendOff(), 8)
+}
+
+// Recover implements Mechanism: a pending operation is re-executed from
+// its log record (recovery overwrites the possibly-torn data, the
+// recover_alt pattern).
+func (o *OpLog) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	c.AddCommitVar(o.pendOff(), 8)
+	if p.Load64(o.pendOff()) != 0 { // benign commit-variable read
+		seed := p.Load64(o.opOff())
+		storePayload(p, o.dataOff(), MakePayload(seed))
+		p.Persist(o.dataOff(), payloadSize)
+		p.Store64(o.pendOff(), 0)
+		p.Persist(o.pendOff(), 8)
+	}
+	v := loadPayload(p, o.dataOff())
+	return v, v.Check()
+}
+
+// Checksum is Table 1 row 6: data is written together with a checksum;
+// recovery reads both and decides validity. Consistency does not hinge on
+// ordering points, so — per §5.5 — the update requests additional failure
+// points between its stores with AddFailurePoint.
+type Checksum struct {
+	base  uint64
+	buggy bool
+}
+
+// NewChecksum returns a checksum-protected record at base.
+func NewChecksum(base uint64) *Checksum { return &Checksum{base: base} }
+
+// Name implements Mechanism.
+func (s *Checksum) Name() string { return "checksum-recovery" }
+
+// SetBuggy implements Mechanism: the buggy recovery skips the checksum
+// validation (and the benign-race annotation that goes with it), reading
+// the slot like ordinary consistent data.
+func (s *Checksum) SetBuggy(b bool) { s.buggy = b }
+
+func (s *Checksum) slotOff(i uint64) uint64 { return s.base + 128 + i*128 } // payload + checksum
+func (s *Checksum) seqOff() uint64          { return s.base }               // latest slot hint
+
+func checksum(v Payload) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range v {
+		h = (h ^ w) * 1099511628211
+	}
+	return h
+}
+
+// Init implements Mechanism.
+func (s *Checksum) Init(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	for i := uint64(0); i < 2; i++ {
+		storePayload(p, s.slotOff(i), v)
+		p.Store64(s.slotOff(i)+payloadSize, checksum(v))
+		p.Persist(s.slotOff(i), payloadSize+8)
+	}
+	p.Store64(s.seqOff(), 0)
+	p.Persist(s.seqOff(), 8)
+}
+
+// Update implements Mechanism: write the inactive slot (data + checksum),
+// then flip the hint. The hint itself needs no ordering: recovery
+// validates with the checksum, which is why extra failure points are
+// injected mid-update (§5.5).
+func (s *Checksum) Update(c *core.Ctx, v Payload) {
+	p := c.Pool()
+	cur := p.Load64(s.seqOff())
+	next := 1 - cur
+	slot := s.slotOff(next)
+	storePayload(p, slot, v)
+	c.AddFailurePoint(true) // §5.5: checksum consistency is not fence-bounded
+	p.Store64(slot+payloadSize, checksum(v))
+	c.AddFailurePoint(true)
+	p.Persist(slot, payloadSize+8)
+	p.Store64(s.seqOff(), next)
+	p.Persist(s.seqOff(), 8)
+}
+
+// Recover implements Mechanism: read the hinted slot and validate it by
+// checksum — the checksum read pattern is itself a benign cross-failure
+// race (§3.1), annotated with a skip-detection region and scrubbed.
+func (s *Checksum) Recover(c *core.Ctx) (Payload, error) {
+	p := c.Pool()
+	if s.buggy {
+		// BUG: plain reads of the hint and slot, as if they were ordinary
+		// consistent data — no validation, no annotation, no scrub. A
+		// failure inside the update window makes these reads cross-failure
+		// races.
+		hint := p.Load64(s.seqOff())
+		v := loadPayload(p, s.slotOff(hint%2))
+		return v, v.Check()
+	}
+	for attempt := uint64(0); attempt < 2; attempt++ {
+		c.SkipDetectionBegin(true, trace.BothStages)
+		hint := p.Load64(s.seqOff())
+		slot := s.slotOff((hint + attempt) % 2)
+		v := loadPayload(p, slot)
+		sum := p.Load64(slot + payloadSize)
+		c.SkipDetectionEnd(true, trace.BothStages)
+		if !s.buggy && (checksum(v) != sum || v.Check() != nil) {
+			continue // torn slot: fall back to the other version
+		}
+		// Scrub: commit the validated version so resumption reads
+		// guaranteed-persistent data.
+		storePayload(p, slot, v)
+		p.Store64(slot+payloadSize, sum)
+		p.Persist(slot, payloadSize+8)
+		p.Store64(s.seqOff(), (hint+attempt)%2)
+		p.Persist(s.seqOff(), 8)
+		return v, v.Check()
+	}
+	return Payload{}, fmt.Errorf("checksum recovery: no valid slot")
+}

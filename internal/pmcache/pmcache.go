@@ -1,0 +1,410 @@
+// Package pmcache is a miniature PM-backed Memcached in the spirit of
+// Lenovo's memcached-pmem port (the paper's Table 4 "Memcached" row):
+// items live in persistent memory and survive restarts, while the hash
+// index is volatile and rebuilt on startup — the hybrid design the real
+// port uses. Crash consistency is low-level (no transactions): an item is
+// fully written and persisted before the persistent slot directory
+// publishes it, so the slot write is the commit point.
+//
+// The text interface mirrors memcached's ("set k v", "get k", "delete k",
+// "flush_all", "stats"), both in-process and over a connection.
+package pmcache
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// ErrNotReady indicates the pool exists but the cache was never
+// (completely) created; the server should create it from scratch.
+var ErrNotReady = errors.New("pmcache: cache not initialized")
+
+// The pmobj root holds the slot directory: nSlots persistent item offsets.
+// Each slot holds at most one item chain (chained via item.next).
+const (
+	rootNSlots = 0
+	rootSlots  = 64 // directory starts on its own cache line
+	nSlots     = 32
+	rootSize   = rootSlots + nSlots*8
+)
+
+// Item layout: next | keyLen | valLen | flags | data (key then value).
+const (
+	itNext   = 0
+	itKeyLen = 8
+	itValLen = 16
+	itFlags  = 24
+	itData   = 32
+)
+
+// Stats counts cache operations (volatile, like memcached's counters).
+type Stats struct {
+	GetHits    uint64
+	GetMisses  uint64
+	Sets       uint64
+	Deletes    uint64
+	Evictions  uint64
+	ItemsLive  uint64
+	BytesLive  uint64
+	FlushCalls uint64
+}
+
+// Cache is an open PM-Memcached instance.
+type Cache struct {
+	c    *core.Ctx
+	po   *pmobj.Pool
+	p    *pmem.Pool
+	root uint64
+	// index is the volatile hash index rebuilt on Open, mapping key to
+	// item offset — the memcached-pmem hybrid design.
+	index map[string]uint64
+	stats Stats
+}
+
+// Create initializes a fresh cache.
+func Create(c *core.Ctx) (*Cache, error) {
+	po, err := pmobj.Create(c.Pool(), rootSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &Cache{c: c, po: po, p: c.Pool(), root: po.Root(), index: make(map[string]uint64)}
+	// The root is zeroed and persisted by pmobj.Create; the slot count is
+	// set under undo-log protection so a failure during creation leaves
+	// either the zeroed root or the committed configuration.
+	err = po.Tx(func(tx *pmobj.Tx) error {
+		if err := tx.Add(m.root+rootNSlots, 8); err != nil {
+			return err
+		}
+		m.p.Store64(m.root+rootNSlots, nSlots)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Open reopens an existing cache, rebuilding the volatile index from the
+// persistent slot directory (startup recovery).
+func Open(c *core.Ctx) (*Cache, error) {
+	po, err := pmobj.Open(c.Pool())
+	if err != nil {
+		return nil, err
+	}
+	m := &Cache{c: c, po: po, p: c.Pool(), root: po.Root(), index: make(map[string]uint64)}
+	p := m.p
+	n := p.Load64(m.root + rootNSlots)
+	if n == 0 {
+		// A failure hit before the configuring transaction committed
+		// (recovery rolled it back): the cache was never created.
+		return nil, ErrNotReady
+	}
+	if n != nSlots {
+		return nil, fmt.Errorf("pmcache: bad slot count %d", n)
+	}
+	for s := uint64(0); s < nSlots; s++ {
+		slot := m.root + rootSlots + 8*s
+		// A failure may have hit between a link store and its writeback;
+		// reading such a link is the intentional benign race of recovery
+		// (annotated), and the rebuild scrubs it: whatever value was
+		// observed is rewritten and persisted, committing one of the two
+		// valid outcomes (both chain versions are structurally sound
+		// because items persist before they are published).
+		c.SkipDetectionBegin(true, trace.BothStages)
+		it := p.Load64(slot)
+		c.SkipDetectionEnd(true, trace.BothStages)
+		p.Store64(slot, it)
+		p.Persist(slot, 8)
+		prev := uint64(0)
+		steps := 0
+		seen := map[string]bool{}
+		for it != 0 {
+			c.SkipDetectionBegin(true, trace.BothStages)
+			next := p.Load64(it + itNext)
+			c.SkipDetectionEnd(true, trace.BothStages)
+			key := m.loadKey(it)
+			if seen[key] {
+				// A replace was interrupted after publishing the new item
+				// but before unlinking the old one: complete it.
+				if prev == 0 {
+					p.Store64(slot, next)
+					p.Persist(slot, 8)
+				} else {
+					p.Store64(prev+itNext, next)
+					p.Persist(prev+itNext, 8)
+				}
+				if err := m.po.FreeAtomic(it); err != nil {
+					return nil, err
+				}
+				it = next
+				continue
+			}
+			p.Store64(it+itNext, next)
+			p.Persist(it+itNext, 8)
+			seen[key] = true
+			m.index[key] = it
+			m.stats.ItemsLive++
+			m.stats.BytesLive += p.Load64(it+itKeyLen) + p.Load64(it+itValLen)
+			prev = it
+			it = next
+			if steps++; steps > 1<<22 {
+				return nil, fmt.Errorf("pmcache: chain cycle suspected")
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Cache) slotOf(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return m.root + rootSlots + 8*(h%nSlots)
+}
+
+func (m *Cache) loadKey(it uint64) string {
+	n := m.p.Load64(it + itKeyLen)
+	buf := make([]byte, n)
+	m.p.Load(it+itData, buf)
+	return string(buf)
+}
+
+func (m *Cache) loadVal(it uint64) string {
+	kn := m.p.Load64(it + itKeyLen)
+	vn := m.p.Load64(it + itValLen)
+	buf := make([]byte, vn)
+	m.p.Load(it+itData+kn, buf)
+	return string(buf)
+}
+
+// Set stores key → value with the given flags.
+func (m *Cache) Set(key, value string, flags uint64) error {
+	if key == "" {
+		return fmt.Errorf("pmcache: empty key")
+	}
+	p := m.p
+	size := uint64(itData + len(key) + len(value))
+	slot := m.slotOf(key)
+
+	// Write and persist the whole item before publishing it: the item is
+	// invisible (and reclaimable) until the slot commit below.
+	it, err := m.po.AllocAtomic(size, func(off uint64) {
+		p.Store64(off+itKeyLen, uint64(len(key)))
+		p.Store64(off+itValLen, uint64(len(value)))
+		p.Store64(off+itFlags, flags)
+		p.Store(off+itData, []byte(key))
+		if len(value) > 0 {
+			p.Store(off+itData+uint64(len(key)), []byte(value))
+		}
+		p.Store64(off+itNext, p.Load64(slot))
+		p.Persist(off, size)
+	})
+	if err != nil {
+		return err
+	}
+
+	old, replacing := m.index[key]
+
+	// Commit point: publish the item.
+	p.Store64(slot, it)
+	p.Persist(slot, 8)
+	m.index[key] = it
+	m.stats.Sets++
+	m.stats.ItemsLive++
+	m.stats.BytesLive += uint64(len(key) + len(value))
+
+	if replacing {
+		// Unlink the shadowed old item (it is later in the chain) and
+		// reclaim it.
+		if err := m.unlink(key, old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unlink removes item old (with the given key) from its chain, then
+// frees it.
+func (m *Cache) unlink(key string, old uint64) error {
+	p := m.p
+	slot := m.slotOf(key)
+	prev := uint64(0)
+	it := p.Load64(slot)
+	for it != 0 && it != old {
+		prev = it
+		it = p.Load64(it + itNext)
+	}
+	if it == 0 {
+		return nil
+	}
+	next := p.Load64(it + itNext)
+	if prev == 0 {
+		p.Store64(slot, next)
+		p.Persist(slot, 8)
+	} else {
+		p.Store64(prev+itNext, next)
+		p.Persist(prev+itNext, 8)
+	}
+	m.stats.ItemsLive--
+	m.stats.BytesLive -= p.Load64(it+itKeyLen) + p.Load64(it+itValLen)
+	return m.po.FreeAtomic(it)
+}
+
+// Get retrieves a value.
+func (m *Cache) Get(key string) (string, uint64, bool) {
+	it, ok := m.index[key]
+	if !ok {
+		m.stats.GetMisses++
+		return "", 0, false
+	}
+	m.stats.GetHits++
+	return m.loadVal(it), m.p.Load64(it + itFlags), true
+}
+
+// Delete removes a key; it reports whether the key existed.
+func (m *Cache) Delete(key string) (bool, error) {
+	it, ok := m.index[key]
+	if !ok {
+		return false, nil
+	}
+	if err := m.unlink(key, it); err != nil {
+		return false, err
+	}
+	delete(m.index, key)
+	m.stats.Deletes++
+	return true, nil
+}
+
+// FlushAll removes every item.
+func (m *Cache) FlushAll() error {
+	p := m.p
+	for s := uint64(0); s < nSlots; s++ {
+		slot := m.root + rootSlots + 8*s
+		it := p.Load64(slot)
+		// Unpublish the whole chain first (one commit per slot), then
+		// reclaim the items.
+		p.Store64(slot, 0)
+		p.Persist(slot, 8)
+		for it != 0 {
+			next := p.Load64(it + itNext)
+			if err := m.po.FreeAtomic(it); err != nil {
+				return err
+			}
+			it = next
+		}
+	}
+	m.index = make(map[string]uint64)
+	m.stats.FlushCalls++
+	m.stats.ItemsLive = 0
+	m.stats.BytesLive = 0
+	return nil
+}
+
+// Stats returns the volatile operation counters.
+func (m *Cache) Stats() Stats { return m.stats }
+
+// Len returns the number of live items.
+func (m *Cache) Len() int { return len(m.index) }
+
+// Verify checks that the persistent chains agree with the volatile index.
+func (m *Cache) Verify() error {
+	p := m.p
+	reachable := map[string]uint64{}
+	n := 0
+	for s := uint64(0); s < nSlots; s++ {
+		for it := p.Load64(m.root + rootSlots + 8*s); it != 0; it = p.Load64(it + itNext) {
+			key := m.loadKey(it)
+			if _, dup := reachable[key]; dup {
+				return fmt.Errorf("pmcache: key %q appears twice", key)
+			}
+			reachable[key] = it
+			n++
+			if n > 1<<22 {
+				return fmt.Errorf("pmcache: chain cycle suspected")
+			}
+		}
+	}
+	if len(reachable) != len(m.index) {
+		return fmt.Errorf("pmcache: %d persistent items but %d indexed", len(reachable), len(m.index))
+	}
+	for k, it := range m.index {
+		if reachable[k] != it {
+			return fmt.Errorf("pmcache: index for %q points at 0x%x, chain has 0x%x", k, it, reachable[k])
+		}
+	}
+	return nil
+}
+
+// Do executes one memcached-style command line.
+func (m *Cache) Do(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("pmcache: empty command")
+	}
+	switch cmd := strings.ToLower(fields[0]); {
+	case cmd == "set" && len(fields) == 3:
+		if err := m.Set(fields[1], fields[2], 0); err != nil {
+			return "", err
+		}
+		return "STORED", nil
+	case cmd == "get" && len(fields) == 2:
+		v, flags, ok := m.Get(fields[1])
+		if !ok {
+			return "END", nil
+		}
+		return fmt.Sprintf("VALUE %s %d %d %s END", fields[1], flags, len(v), v), nil
+	case cmd == "delete" && len(fields) == 2:
+		existed, err := m.Delete(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if existed {
+			return "DELETED", nil
+		}
+		return "NOT_FOUND", nil
+	case cmd == "flush_all":
+		if err := m.FlushAll(); err != nil {
+			return "", err
+		}
+		return "OK", nil
+	case cmd == "stats":
+		s := m.stats
+		return fmt.Sprintf("STAT get_hits %d STAT get_misses %d STAT curr_items %d STAT bytes %d END",
+			s.GetHits, s.GetMisses, s.ItemsLive, s.BytesLive), nil
+	default:
+		return "", fmt.Errorf("pmcache: unknown command %q", line)
+	}
+}
+
+// ServeConn serves the text protocol on one connection until it closes.
+func (m *Cache) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			return nil
+		}
+		reply, err := m.Do(line)
+		if err != nil {
+			reply = "ERROR " + err.Error()
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", reply); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

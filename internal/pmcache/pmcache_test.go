@@ -1,0 +1,224 @@
+package pmcache_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmcache"
+)
+
+func run(t *testing.T, fn func(c *core.Ctx) error) {
+	t.Helper()
+	_, err := core.Run(core.Config{Mode: core.ModeOriginal, PoolSize: 4 << 20},
+		core.Target{Name: t.Name(), Pre: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		m, err := pmcache.Create(c)
+		if err != nil {
+			return err
+		}
+		if err := m.Set("alpha", "1", 7); err != nil {
+			return err
+		}
+		if err := m.Set("beta", "2", 0); err != nil {
+			return err
+		}
+		v, flags, ok := m.Get("alpha")
+		if !ok || v != "1" || flags != 7 {
+			return fmt.Errorf("get alpha = (%q,%d,%v)", v, flags, ok)
+		}
+		if err := m.Set("alpha", "one", 7); err != nil { // replace
+			return err
+		}
+		if v, _, _ := m.Get("alpha"); v != "one" {
+			return fmt.Errorf("after replace: %q", v)
+		}
+		if m.Len() != 2 {
+			return fmt.Errorf("len = %d, want 2", m.Len())
+		}
+		existed, err := m.Delete("alpha")
+		if err != nil || !existed {
+			return fmt.Errorf("delete = %v, %v", existed, err)
+		}
+		if _, _, ok := m.Get("alpha"); ok {
+			return fmt.Errorf("alpha still present")
+		}
+		return m.Verify()
+	})
+}
+
+func TestRebuildAcrossOpen(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		m, err := pmcache.Create(c)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 64; i++ {
+			if err := m.Set(fmt.Sprintf("item%02d", i), strings.Repeat("x", i%9), uint64(i)); err != nil {
+				return err
+			}
+		}
+		m2, err := pmcache.Open(c)
+		if err != nil {
+			return err
+		}
+		if m2.Len() != 64 {
+			return fmt.Errorf("rebuilt len = %d, want 64", m2.Len())
+		}
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("item%02d", i)
+			v, flags, ok := m2.Get(key)
+			if !ok || v != strings.Repeat("x", i%9) || flags != uint64(i) {
+				return fmt.Errorf("%s = (%q,%d,%v)", key, v, flags, ok)
+			}
+		}
+		return m2.Verify()
+	})
+}
+
+func TestFlushAll(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		m, err := pmcache.Create(c)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 20; i++ {
+			if err := m.Set(fmt.Sprintf("k%d", i), "v", 0); err != nil {
+				return err
+			}
+		}
+		free := 0 // heap must fully drain: reopen and refill
+		_ = free
+		if err := m.FlushAll(); err != nil {
+			return err
+		}
+		if m.Len() != 0 {
+			return fmt.Errorf("len after flush = %d", m.Len())
+		}
+		m2, err := pmcache.Open(c)
+		if err != nil {
+			return err
+		}
+		if m2.Len() != 0 {
+			return fmt.Errorf("reopened len after flush = %d", m2.Len())
+		}
+		return m2.Verify()
+	})
+}
+
+func TestStatsAndCommands(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		m, err := pmcache.Create(c)
+		if err != nil {
+			return err
+		}
+		steps := []struct{ cmd, want string }{
+			{"set k1 hello", "STORED"},
+			{"get k1", "VALUE k1 0 5 hello END"},
+			{"get k2", "END"},
+			{"delete k1", "DELETED"},
+			{"delete k1", "NOT_FOUND"},
+			{"flush_all", "OK"},
+		}
+		for _, s := range steps {
+			got, err := m.Do(s.cmd)
+			if err != nil {
+				return fmt.Errorf("%s: %v", s.cmd, err)
+			}
+			if got != s.want {
+				return fmt.Errorf("%s = %q, want %q", s.cmd, got, s.want)
+			}
+		}
+		st := m.Stats()
+		if st.GetHits != 1 || st.GetMisses != 1 || st.Sets != 1 || st.Deletes != 1 {
+			return fmt.Errorf("stats = %+v", st)
+		}
+		if out, err := m.Do("stats"); err != nil || !strings.Contains(out, "get_hits 1") {
+			return fmt.Errorf("stats cmd = %q, %v", out, err)
+		}
+		return nil
+	})
+}
+
+func TestServeConn(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		m, err := pmcache.Create(c)
+		if err != nil {
+			return err
+		}
+		client, server := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- m.ServeConn(server) }()
+		rd := bufio.NewScanner(client)
+		say := func(cmd string) string {
+			fmt.Fprintf(client, "%s\n", cmd)
+			if !rd.Scan() {
+				t.Fatalf("no reply to %q", cmd)
+			}
+			return rd.Text()
+		}
+		if got := say("set color blue"); got != "STORED" {
+			return fmt.Errorf("set = %q", got)
+		}
+		if got := say("get color"); !strings.Contains(got, "blue") {
+			return fmt.Errorf("get = %q", got)
+		}
+		fmt.Fprintf(client, "quit\n")
+		client.Close()
+		return <-done
+	})
+}
+
+// TestCleanMemcachedUnderDetection: inserts, a replace and a delete under
+// full failure injection must produce no reports.
+func TestCleanMemcachedUnderDetection(t *testing.T) {
+	target := core.Target{
+		Name: "memcached-clean",
+		Pre: func(c *core.Ctx) error {
+			m, err := pmcache.Create(c)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 5; i++ {
+				if err := m.Set(fmt.Sprintf("key%d", i), fmt.Sprintf("val%d", i), 0); err != nil {
+					return err
+				}
+			}
+			if err := m.Set("key1", "replaced", 0); err != nil {
+				return err
+			}
+			_, err = m.Delete("key2")
+			return err
+		},
+		Post: func(c *core.Ctx) error {
+			m, err := pmcache.Open(c)
+			if err != nil {
+				return nil // pool not created yet: server starts fresh
+			}
+			m.Get("key0")
+			if err := m.Set("resumed", "yes", 0); err != nil {
+				return err
+			}
+			return m.Verify()
+		},
+	}
+	res, err := core.Run(core.Config{PoolSize: 4 << 20}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Fatalf("clean memcached produced reports:\n%s", res)
+	}
+	if res.FailurePoints < 10 {
+		t.Errorf("failure points = %d, want many", res.FailurePoints)
+	}
+}

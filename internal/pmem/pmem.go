@@ -1,0 +1,475 @@
+// Package pmem simulates a byte-addressable persistent memory device with
+// x86-style persistency semantics, replacing the Intel Optane DC module and
+// DAX-mapped pool files of the paper's testbed.
+//
+// The model is the one XFDetector reasons about (§2.1, §4.1 of the paper):
+//
+//   - Stores land in the volatile cache hierarchy. Their content is visible
+//     to subsequent loads immediately, but they are NOT guaranteed to be
+//     persistent.
+//   - CLWB / CLFLUSH request writeback of the 64-byte cache lines covering a
+//     range, making them writeback-pending.
+//   - Non-temporal stores bypass the cache and are immediately
+//     writeback-pending.
+//   - SFENCE completes all pending writebacks: only then are the written
+//     values guaranteed to survive a failure. SFENCE is an *ordering point*;
+//     the detection frontend injects a failure point before each one (§4.2).
+//
+// A Pool holds the full PM image including non-persisted updates, exactly
+// like the PM image copy of §5.4 (footnote 3): the shadow PM — not the
+// medium — tracks which bytes were guaranteed persisted. Addresses are
+// pool-relative offsets, which makes every PM object's address deterministic
+// across executions (the paper achieves the same with PMDK's
+// PMEM_MMAP_HINT address derandomization).
+//
+// Every operation is reported to the attached trace Sink together with the
+// source location of the caller (standing in for the instruction pointer
+// that Pin records in the paper).
+package pmem
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// CacheLineSize is the writeback granularity, matching x86.
+const CacheLineSize = 64
+
+// LineDown rounds addr down to its cache-line base.
+func LineDown(addr uint64) uint64 { return addr &^ (CacheLineSize - 1) }
+
+// LineUp rounds addr up to the next cache-line boundary.
+func LineUp(addr uint64) uint64 {
+	return (addr + CacheLineSize - 1) &^ (CacheLineSize - 1)
+}
+
+// A Sink receives trace entries as the program executes. The XFDetector
+// frontend installs one; running with a nil sink is the "original program"
+// configuration of Fig. 12b (no tracing, no detection).
+type Sink interface {
+	Record(e trace.Entry)
+}
+
+// RangeError reports an access outside the pool. Accessing PM out of bounds
+// is a programming error in the tested workload, so pool accessors panic
+// with a *RangeError rather than returning it.
+type RangeError struct {
+	Pool string
+	Op   string
+	Addr uint64
+	Size uint64
+	Len  uint64
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("pmem: %s out of range on pool %q: [0x%x, 0x%x) with pool size 0x%x",
+		e.Op, e.Pool, e.Addr, e.Addr+e.Size, e.Len)
+}
+
+// Pool is one simulated persistent memory pool.
+//
+// A Pool is not safe for fully concurrent mutation of overlapping data (the
+// workloads in the paper's evaluation perform independent operations per
+// thread, §7); the trace sink and annotation flags are nevertheless guarded
+// so concurrent tracing is well formed.
+type Pool struct {
+	name string
+	buf  []byte
+
+	mu        sync.Mutex
+	sink      Sink
+	stage     trace.Stage
+	fenceHook func() // invoked immediately BEFORE each SFence takes effect
+	libDepth  int    // >0 while executing inside a traced PM library
+	skipDet   int    // >0 while inside a skipDetection region
+	tid       uint32
+	ipEnabled bool
+}
+
+// New creates a zeroed pool of the given size. Size is rounded up to a whole
+// number of cache lines.
+func New(name string, size int) *Pool {
+	if size <= 0 {
+		panic(fmt.Sprintf("pmem: pool %q must have positive size, got %d", name, size))
+	}
+	sz := int(LineUp(uint64(size)))
+	return &Pool{name: name, buf: make([]byte, sz), ipEnabled: true}
+}
+
+// FromImage creates a pool backed by a copy of img. The detection frontend
+// uses it to spawn the post-failure execution on a copy of the PM image.
+func FromImage(name string, img []byte) *Pool {
+	buf := make([]byte, len(img))
+	copy(buf, img)
+	return &Pool{name: name, buf: buf, ipEnabled: true}
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return uint64(len(p.buf)) }
+
+// Snapshot returns a copy of the full PM image, including updates that are
+// not guaranteed persisted (footnote 3 of the paper).
+func (p *Pool) Snapshot() []byte {
+	img := make([]byte, len(p.buf))
+	copy(img, p.buf)
+	return img
+}
+
+// Bytes exposes the live image for read-only inspection in tests.
+func (p *Pool) Bytes() []byte { return p.buf }
+
+// SetSink attaches (or, with nil, detaches) the trace sink.
+func (p *Pool) SetSink(s Sink) {
+	p.mu.Lock()
+	p.sink = s
+	p.mu.Unlock()
+}
+
+// SetStage sets the stage recorded on subsequent entries.
+func (p *Pool) SetStage(s trace.Stage) {
+	p.mu.Lock()
+	p.stage = s
+	p.mu.Unlock()
+}
+
+// Stage returns the stage currently recorded on entries.
+func (p *Pool) Stage() trace.Stage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stage
+}
+
+// SetFenceHook installs f to run immediately before every SFence. The
+// XFDetector frontend uses the hook to inject failure points before each
+// ordering point (§4.2).
+func (p *Pool) SetFenceHook(f func()) {
+	p.mu.Lock()
+	p.fenceHook = f
+	p.mu.Unlock()
+}
+
+// SetTID sets the mutator thread id recorded on entries.
+func (p *Pool) SetTID(tid uint32) {
+	p.mu.Lock()
+	p.tid = tid
+	p.mu.Unlock()
+}
+
+// SetIPCapture toggles source-location capture. Disabling it removes the
+// runtime.Caller cost; reports then lack file:line information.
+func (p *Pool) SetIPCapture(on bool) {
+	p.mu.Lock()
+	p.ipEnabled = on
+	p.mu.Unlock()
+}
+
+// EnterLibrary marks the start of traced PM-library code (pmobj). Entries
+// recorded until the matching ExitLibrary carry InLibrary, which the backend
+// uses for PMDK-style function-granularity semantics (§5.3).
+func (p *Pool) EnterLibrary() {
+	p.mu.Lock()
+	p.libDepth++
+	p.mu.Unlock()
+}
+
+// ExitLibrary ends a library region started by EnterLibrary.
+func (p *Pool) ExitLibrary() {
+	p.mu.Lock()
+	if p.libDepth == 0 {
+		p.mu.Unlock()
+		panic("pmem: ExitLibrary without EnterLibrary")
+	}
+	p.libDepth--
+	p.mu.Unlock()
+}
+
+// EnterSkipDetection marks the start of a region whose entries the backend
+// must not check (Table 2: skipDetectionBegin).
+func (p *Pool) EnterSkipDetection() {
+	p.mu.Lock()
+	p.skipDet++
+	p.mu.Unlock()
+}
+
+// ExitSkipDetection ends a skip-detection region.
+func (p *Pool) ExitSkipDetection() {
+	p.mu.Lock()
+	if p.skipDet == 0 {
+		p.mu.Unlock()
+		panic("pmem: ExitSkipDetection without EnterSkipDetection")
+	}
+	p.skipDet--
+	p.mu.Unlock()
+}
+
+// InLibrary reports whether execution is currently inside a traced library
+// region.
+func (p *Pool) InLibrary() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.libDepth > 0
+}
+
+func (p *Pool) check(op string, addr, size uint64) {
+	if addr+size > uint64(len(p.buf)) || addr+size < addr {
+		panic(&RangeError{Pool: p.name, Op: op, Addr: addr, Size: size, Len: uint64(len(p.buf))})
+	}
+}
+
+// emit records one trace entry if a sink is attached.
+func (p *Pool) emit(kind trace.Kind, addr, size uint64, fn string) {
+	p.mu.Lock()
+	sink := p.sink
+	if sink == nil {
+		p.mu.Unlock()
+		return
+	}
+	e := trace.Entry{
+		Kind:          kind,
+		Addr:          addr,
+		Size:          size,
+		Stage:         p.stage,
+		TID:           p.tid,
+		Func:          fn,
+		InLibrary:     p.libDepth > 0,
+		SkipDetection: p.skipDet > 0,
+	}
+	if p.ipEnabled {
+		e.IP = callerIP()
+	}
+	p.mu.Unlock()
+	sink.Record(e)
+}
+
+// callerIP returns the file:line of the nearest caller outside this package.
+func callerIP() string {
+	var pcs [16]uintptr
+	// Skip runtime.Callers, callerIP, emit and the pool accessor itself.
+	n := runtime.Callers(3, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.File == "" {
+			return ""
+		}
+		if !strings.Contains(f.File, "internal/pmem/") || strings.HasSuffix(f.File, "_test.go") {
+			return shortFile(f.File) + ":" + strconv.Itoa(f.Line)
+		}
+		if !more {
+			return ""
+		}
+	}
+}
+
+func shortFile(path string) string {
+	// Keep the last two path elements: "pkg/file.go".
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return path
+	}
+	j := strings.LastIndexByte(path[:i], '/')
+	if j < 0 {
+		return path
+	}
+	return path[j+1:]
+}
+
+// Store writes data at addr through the cache hierarchy. The new value is
+// immediately visible to loads but not guaranteed persistent.
+func (p *Pool) Store(addr uint64, data []byte) {
+	p.check("store", addr, uint64(len(data)))
+	copy(p.buf[addr:], data)
+	p.emit(trace.Write, addr, uint64(len(data)), "")
+}
+
+// NTStore writes data at addr with a non-temporal store: the range becomes
+// writeback-pending immediately and is persisted by the next SFence.
+func (p *Pool) NTStore(addr uint64, data []byte) {
+	p.check("ntstore", addr, uint64(len(data)))
+	copy(p.buf[addr:], data)
+	p.emit(trace.NTStore, addr, uint64(len(data)), "")
+}
+
+// Load reads len(dst) bytes at addr into dst.
+func (p *Pool) Load(addr uint64, dst []byte) {
+	p.check("load", addr, uint64(len(dst)))
+	copy(dst, p.buf[addr:])
+	p.emit(trace.Read, addr, uint64(len(dst)), "")
+}
+
+// Store8 writes one byte.
+func (p *Pool) Store8(addr uint64, v uint8) {
+	p.check("store", addr, 1)
+	p.buf[addr] = v
+	p.emit(trace.Write, addr, 1, "")
+}
+
+// Load8 reads one byte.
+func (p *Pool) Load8(addr uint64) uint8 {
+	p.check("load", addr, 1)
+	v := p.buf[addr]
+	p.emit(trace.Read, addr, 1, "")
+	return v
+}
+
+// Store16 writes a little-endian uint16.
+func (p *Pool) Store16(addr uint64, v uint16) {
+	p.check("store", addr, 2)
+	p.buf[addr] = byte(v)
+	p.buf[addr+1] = byte(v >> 8)
+	p.emit(trace.Write, addr, 2, "")
+}
+
+// Load16 reads a little-endian uint16.
+func (p *Pool) Load16(addr uint64) uint16 {
+	p.check("load", addr, 2)
+	v := uint16(p.buf[addr]) | uint16(p.buf[addr+1])<<8
+	p.emit(trace.Read, addr, 2, "")
+	return v
+}
+
+// Store32 writes a little-endian uint32.
+func (p *Pool) Store32(addr uint64, v uint32) {
+	p.check("store", addr, 4)
+	putU32(p.buf[addr:], v)
+	p.emit(trace.Write, addr, 4, "")
+}
+
+// Load32 reads a little-endian uint32.
+func (p *Pool) Load32(addr uint64) uint32 {
+	p.check("load", addr, 4)
+	v := getU32(p.buf[addr:])
+	p.emit(trace.Read, addr, 4, "")
+	return v
+}
+
+// Store64 writes a little-endian uint64.
+func (p *Pool) Store64(addr uint64, v uint64) {
+	p.check("store", addr, 8)
+	putU64(p.buf[addr:], v)
+	p.emit(trace.Write, addr, 8, "")
+}
+
+// Load64 reads a little-endian uint64.
+func (p *Pool) Load64(addr uint64) uint64 {
+	p.check("load", addr, 8)
+	v := getU64(p.buf[addr:])
+	p.emit(trace.Read, addr, 8, "")
+	return v
+}
+
+// Memset writes n copies of b starting at addr.
+func (p *Pool) Memset(addr uint64, b byte, n uint64) {
+	p.check("memset", addr, n)
+	for i := uint64(0); i < n; i++ {
+		p.buf[addr+i] = b
+	}
+	p.emit(trace.Write, addr, n, "")
+}
+
+// Copy performs a PM-to-PM memmove of n bytes; it traces a read of the
+// source and a write of the destination.
+func (p *Pool) Copy(dst, src, n uint64) {
+	p.check("copy-src", src, n)
+	p.check("copy-dst", dst, n)
+	p.emit(trace.Read, src, n, "")
+	copy(p.buf[dst:dst+n], p.buf[src:src+n])
+	p.emit(trace.Write, dst, n, "")
+}
+
+// CLWB requests writeback of the cache lines covering [addr, addr+size).
+func (p *Pool) CLWB(addr, size uint64) {
+	p.check("clwb", addr, size)
+	base := LineDown(addr)
+	p.emit(trace.CLWB, base, LineUp(addr+size)-base, "")
+}
+
+// CLFlush flushes (evicts and writes back) the covering cache lines. For
+// persistence it behaves like CLWB.
+func (p *Pool) CLFlush(addr, size uint64) {
+	p.check("clflush", addr, size)
+	base := LineDown(addr)
+	p.emit(trace.CLFlush, base, LineUp(addr+size)-base, "")
+}
+
+// SFence is a store fence: it completes all pending writebacks, making them
+// persistent, and advances the ordering timestamp. It is an ordering point;
+// the installed fence hook (the failure injector) runs first.
+func (p *Pool) SFence() {
+	p.mu.Lock()
+	hook := p.fenceHook
+	p.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	p.emit(trace.SFence, 0, 0, "")
+}
+
+// Persist is the paper's persist_barrier(): CLWB of the range followed by an
+// SFence.
+func (p *Pool) Persist(addr, size uint64) {
+	p.CLWB(addr, size)
+	p.SFence()
+}
+
+// Announce records a bare trace entry of the given kind. The pmobj library
+// uses it for transaction and function events; user code normally does not
+// call it.
+func (p *Pool) Announce(kind trace.Kind, addr, size uint64, fn string) {
+	if kind.IsMemOp() {
+		p.check(kind.String(), addr, size)
+	}
+	p.emit(kind, addr, size, fn)
+}
+
+// AnnounceEntry records e after filling in the pool's current stage, thread
+// id, library/skip flags and caller location. Kind, addresses and function
+// name are taken from e.
+func (p *Pool) AnnounceEntry(e trace.Entry) {
+	if e.Kind.IsMemOp() {
+		p.check(e.Kind.String(), e.Addr, e.Size)
+	}
+	p.mu.Lock()
+	sink := p.sink
+	if sink == nil {
+		p.mu.Unlock()
+		return
+	}
+	e.Stage = p.stage
+	e.TID = p.tid
+	e.InLibrary = p.libDepth > 0
+	e.SkipDetection = p.skipDet > 0
+	if p.ipEnabled && e.IP == "" {
+		e.IP = callerIP()
+	}
+	p.mu.Unlock()
+	sink.Record(e)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

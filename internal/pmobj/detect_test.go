@@ -1,0 +1,248 @@
+package pmobj_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// counterTarget is a minimal transactional program: the root holds two
+// counters whose sum is invariant; the pre-failure stage moves value
+// between them inside a transaction, the post-failure stage recovers and
+// checks the invariant. skipAdd seeds the cross-failure race of the
+// paper's Fig. 1 (a field missing from the transaction).
+func counterTarget(name string, skipAdd bool) core.Target {
+	return core.Target{
+		Name: name,
+		Setup: func(c *core.Ctx) error {
+			po, err := pmobj.Create(c.Pool(), 16, nil)
+			if err != nil {
+				return err
+			}
+			p := c.Pool()
+			p.Store64(po.Root(), 70)
+			p.Store64(po.Root()+8, 30)
+			p.Persist(po.Root(), 16)
+			return nil
+		},
+		Pre: func(c *core.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			p := c.Pool()
+			root := po.Root()
+			return po.Tx(func(tx *pmobj.Tx) error {
+				if err := tx.Add(root, 8); err != nil {
+					return err
+				}
+				if !skipAdd {
+					if err := tx.Add(root+8, 8); err != nil {
+						return err
+					}
+				}
+				p.Store64(root, p.Load64(root)-10)
+				p.Store64(root+8, p.Load64(root+8)+10)
+				return nil
+			})
+		},
+		Post: func(c *core.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			p := c.Pool()
+			a := p.Load64(po.Root())
+			b := p.Load64(po.Root() + 8)
+			if a+b != 100 {
+				return fmt.Errorf("invariant broken: %d + %d != 100", a, b)
+			}
+			return nil
+		},
+	}
+}
+
+// TestCleanTransactionUnderDetection is the substrate's acid test: a
+// correct undo-logged update plus recovery must survive every injected
+// failure point with no report of any class.
+func TestCleanTransactionUnderDetection(t *testing.T) {
+	res, err := core.Run(core.Config{}, counterTarget("tx-clean", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if len(res.Reports) != 0 {
+		t.Fatalf("clean transaction produced reports:\n%s", res)
+	}
+	if res.FailurePoints < 5 {
+		t.Errorf("failure points = %d, want several (create + tx ordering points)", res.FailurePoints)
+	}
+}
+
+// TestMissingTxAddDetected seeds the Fig. 1 bug: one field is updated
+// inside the transaction without TX_ADD, so the post-failure stage reads a
+// value that is not guaranteed persisted.
+func TestMissingTxAddDetected(t *testing.T) {
+	res, err := core.Run(core.Config{}, counterTarget("tx-missing-add", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	bad := res.Count(core.CrossFailureRace) + res.Count(core.PostFailureFault)
+	if bad == 0 {
+		t.Fatalf("missing TX_ADD went undetected:\n%s", res)
+	}
+}
+
+// TestDuplicateTxAddPerformanceBug seeds PMTest's duplicated-TX_ADD
+// performance bug.
+func TestDuplicateTxAddPerformanceBug(t *testing.T) {
+	target := counterTarget("tx-dup-add", false)
+	inner := target.Pre
+	target.Pre = func(c *core.Ctx) error {
+		_ = inner // replaced wholesale below
+		po, err := pmobj.Open(c.Pool())
+		if err != nil {
+			return err
+		}
+		root := po.Root()
+		p := c.Pool()
+		return po.Tx(func(tx *pmobj.Tx) error {
+			if err := tx.Add(root, 16); err != nil {
+				return err
+			}
+			if err := tx.Add(root, 16); err != nil { // duplicate
+				return err
+			}
+			p.Store64(root, p.Load64(root)-10)
+			p.Store64(root+8, p.Load64(root+8)+10)
+			return nil
+		})
+	}
+	res, err := core.Run(core.Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Count(core.Performance); got != 1 {
+		t.Fatalf("performance bugs = %d, want 1 (duplicate TX_ADD):\n%s", got, res)
+	}
+}
+
+// TestBug4UnorderedCreateDetected reproduces the paper's Bug 4: a failure
+// injected during the buggy pool creation leaves metadata whose
+// persistence is not ordered before the validity flag; the post-failure
+// open observes it.
+func TestBug4UnorderedCreateDetected(t *testing.T) {
+	target := core.Target{
+		Name: "bug4",
+		Pre: func(c *core.Ctx) error {
+			_, err := pmobj.Create(c.Pool(), 64,
+				&pmobj.Options{Faults: pmobj.Faults{CreateUnorderedMeta: true}})
+			return err
+		},
+		Post: func(c *core.Ctx) error {
+			_, err := pmobj.Open(c.Pool())
+			return err
+		},
+	}
+	res, err := core.Run(core.Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	bad := res.Count(core.CrossFailureRace) + res.Count(core.CrossFailureSemantic)
+	if bad == 0 {
+		t.Fatalf("unordered pool creation went undetected:\n%s", res)
+	}
+}
+
+// TestCorrectCreateCleanUnderDetection is Bug 4's control: the correctly
+// ordered creation must be clean, with mid-creation failure points
+// yielding only the well-defined ErrNotAPool (which the post stage treats
+// as "pool not yet created").
+func TestCorrectCreateCleanUnderDetection(t *testing.T) {
+	target := core.Target{
+		Name: "create-clean",
+		Pre: func(c *core.Ctx) error {
+			_, err := pmobj.Create(c.Pool(), 64, nil)
+			return err
+		},
+		Post: func(c *core.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err == pmobj.ErrNotAPool {
+				return nil // creation had not committed: start over
+			}
+			if err != nil {
+				return err
+			}
+			c.Pool().Load64(po.Root())
+			return nil
+		},
+	}
+	res, err := core.Run(core.Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Fatalf("correct creation produced reports:\n%s", res)
+	}
+}
+
+// TestCommitSkipFlushDetected seeds a commit that does not write back the
+// transaction's data: resumption after a later failure reads data that was
+// never guaranteed persisted.
+func TestCommitSkipFlushDetected(t *testing.T) {
+	target := core.Target{
+		Name: "commit-skip-flush",
+		Setup: func(c *core.Ctx) error {
+			po, err := pmobj.Create(c.Pool(), 16,
+				&pmobj.Options{Faults: pmobj.Faults{CommitSkipFlush: true}})
+			if err != nil {
+				return err
+			}
+			c.Pool().Store64(po.Root(), 1)
+			c.Pool().Persist(po.Root(), 8)
+			return nil
+		},
+		Pre: func(c *core.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			po.SetFaults(pmobj.Faults{CommitSkipFlush: true})
+			root := po.Root()
+			if err := po.Tx(func(tx *pmobj.Tx) error {
+				if err := tx.Add(root, 8); err != nil {
+					return err
+				}
+				c.Pool().Store64(root, 2)
+				return nil
+			}); err != nil {
+				return err
+			}
+			// A later, unrelated barrier gives the detector a failure
+			// point after the (broken) commit.
+			c.Pool().Store64(root+8, 9)
+			c.Pool().Persist(root+8, 8)
+			return nil
+		},
+		Post: func(c *core.Ctx) error {
+			po, err := pmobj.Open(c.Pool())
+			if err != nil {
+				return err
+			}
+			c.Pool().Load64(po.Root())
+			return nil
+		},
+	}
+	res, err := core.Run(core.Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if res.Count(core.CrossFailureRace) == 0 {
+		t.Fatalf("unflushed commit went undetected:\n%s", res)
+	}
+}

@@ -1,0 +1,378 @@
+// Package pmredis is a miniature PM-backed Redis in the spirit of Intel's
+// pmem-redis port (the paper's Table 4 "Redis" row): a string key-value
+// store whose dictionary lives in persistent memory behind pmobj
+// transactions, with a text command interface (SET/GET/DEL/EXISTS/DBSIZE/
+// KEYS/PING) served either in-process or over a network connection.
+//
+// The paper's Bug 3 (server.c:4029) lives in initPersistentMemory: the
+// server initializes `num_dict_entries` without transaction protection, so
+// a failure during initialization leaves the counter's persistence
+// unguaranteed while the post-failure server reads it. The seeded
+// InitRaceBug option reproduces it; the correct initialization covers the
+// counter with the creating transaction.
+package pmredis
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// Root object layout (64 bytes).
+const (
+	rootDir      = 0  // bucket directory offset
+	rootNBuckets = 8  // directory size
+	rootEntries  = 16 // num_dict_entries (the Bug 3 counter)
+	rootSize     = 64
+
+	nBuckets = 16
+)
+
+// Entry layout (40 bytes): next | keyOff | keyLen | valOff | valLen.
+const (
+	entNext   = 0
+	entKeyOff = 8
+	entKeyLen = 16
+	entValOff = 24
+	entValLen = 32
+	entSize   = 40
+)
+
+// Options configures DB creation.
+type Options struct {
+	// InitRaceBug seeds the paper's Bug 3: num_dict_entries is
+	// initialized outside the dictionary-creating transaction.
+	InitRaceBug bool
+}
+
+// DB is an open PM-Redis database.
+type DB struct {
+	c    *core.Ctx
+	po   *pmobj.Pool
+	p    *pmem.Pool
+	root uint64
+	opts Options
+}
+
+// Create initializes the persistent dictionary — initPersistentMemory in
+// the paper's terms.
+func Create(c *core.Ctx, opts Options) (*DB, error) {
+	po, err := pmobj.Create(c.Pool(), rootSize, nil)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{c: c, po: po, p: c.Pool(), root: po.Root(), opts: opts}
+	err = po.Tx(func(tx *pmobj.Tx) error {
+		dir, err := tx.Alloc(nBuckets * 8)
+		if err != nil {
+			return err
+		}
+		if err := tx.Add(db.root, 24); err != nil {
+			return err
+		}
+		db.p.Store64(db.root+rootDir, dir)
+		db.p.Store64(db.root+rootNBuckets, nBuckets)
+		if !opts.InitRaceBug {
+			db.p.Store64(db.root+rootEntries, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.InitRaceBug {
+		// BUG 3 (paper Fig. 14c): the counter is initialized outside the
+		// transaction, with a raw store that is never written back.
+		db.p.Store64(db.root+rootEntries, 0)
+	}
+	return db, nil
+}
+
+// Open opens an existing database, running pmobj recovery.
+func Open(c *core.Ctx, opts Options) (*DB, error) {
+	po, err := pmobj.Open(c.Pool())
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{c: c, po: po, p: c.Pool(), root: po.Root(), opts: opts}
+	if db.p.Load64(db.root+rootDir) == 0 {
+		return nil, fmt.Errorf("pmredis: dictionary not initialized")
+	}
+	return db, nil
+}
+
+func (db *DB) bucket(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h % db.p.Load64(db.root+rootNBuckets)
+}
+
+// loadString reads a persistent string blob.
+func (db *DB) loadString(off, n uint64) string {
+	if n == 0 {
+		return ""
+	}
+	buf := make([]byte, n)
+	db.p.Load(off, buf)
+	return string(buf)
+}
+
+// storeString allocates and writes a string inside the transaction.
+func (db *DB) storeString(tx *pmobj.Tx, s string) (uint64, error) {
+	if len(s) == 0 {
+		return 0, nil
+	}
+	off, err := tx.Alloc(uint64(len(s)))
+	if err != nil {
+		return 0, err
+	}
+	db.p.Store(off, []byte(s))
+	return off, nil
+}
+
+// findEntry returns (entry, prev) for key, or (0, prev-tail).
+func (db *DB) findEntry(key string) (e, prev uint64) {
+	dir := db.p.Load64(db.root + rootDir)
+	slot := dir + 8*db.bucket(key)
+	e = db.p.Load64(slot)
+	for e != 0 {
+		k := db.loadString(db.p.Load64(e+entKeyOff), db.p.Load64(e+entKeyLen))
+		if k == key {
+			return e, prev
+		}
+		prev = e
+		e = db.p.Load64(e + entNext)
+	}
+	return 0, prev
+}
+
+// Set stores key → value.
+func (db *DB) Set(key, value string) error {
+	if key == "" {
+		return fmt.Errorf("pmredis: empty key")
+	}
+	return db.po.Tx(func(tx *pmobj.Tx) error {
+		e, _ := db.findEntry(key)
+		if e != 0 {
+			// Replace the value blob.
+			valOff, err := db.storeString(tx, value)
+			if err != nil {
+				return err
+			}
+			if old := db.p.Load64(e + entValOff); old != 0 {
+				if err := tx.Free(old); err != nil {
+					return err
+				}
+			}
+			if err := tx.Add(e, entSize); err != nil {
+				return err
+			}
+			db.p.Store64(e+entValOff, valOff)
+			db.p.Store64(e+entValLen, uint64(len(value)))
+			return nil
+		}
+		keyOff, err := db.storeString(tx, key)
+		if err != nil {
+			return err
+		}
+		valOff, err := db.storeString(tx, value)
+		if err != nil {
+			return err
+		}
+		ne, err := tx.Alloc(entSize)
+		if err != nil {
+			return err
+		}
+		dir := db.p.Load64(db.root + rootDir)
+		slot := dir + 8*db.bucket(key)
+		db.p.Store64(ne+entKeyOff, keyOff)
+		db.p.Store64(ne+entKeyLen, uint64(len(key)))
+		db.p.Store64(ne+entValOff, valOff)
+		db.p.Store64(ne+entValLen, uint64(len(value)))
+		db.p.Store64(ne+entNext, db.p.Load64(slot))
+		if err := tx.Add(slot, 8); err != nil {
+			return err
+		}
+		db.p.Store64(slot, ne)
+		if err := tx.Add(db.root+rootEntries, 8); err != nil {
+			return err
+		}
+		db.p.Store64(db.root+rootEntries, db.p.Load64(db.root+rootEntries)+1)
+		return nil
+	})
+}
+
+// Get retrieves key's value.
+func (db *DB) Get(key string) (string, bool) {
+	e, _ := db.findEntry(key)
+	if e == 0 {
+		return "", false
+	}
+	return db.loadString(db.p.Load64(e+entValOff), db.p.Load64(e+entValLen)), true
+}
+
+// Del removes key; it reports whether the key existed.
+func (db *DB) Del(key string) (bool, error) {
+	existed := false
+	err := db.po.Tx(func(tx *pmobj.Tx) error {
+		e, prev := db.findEntry(key)
+		if e == 0 {
+			return nil
+		}
+		existed = true
+		next := db.p.Load64(e + entNext)
+		if prev == 0 {
+			dir := db.p.Load64(db.root + rootDir)
+			slot := dir + 8*db.bucket(key)
+			if err := tx.Add(slot, 8); err != nil {
+				return err
+			}
+			db.p.Store64(slot, next)
+		} else {
+			if err := tx.Add(prev, entSize); err != nil {
+				return err
+			}
+			db.p.Store64(prev+entNext, next)
+		}
+		for _, blob := range []struct{ off uint64 }{
+			{db.p.Load64(e + entKeyOff)}, {db.p.Load64(e + entValOff)},
+		} {
+			if blob.off != 0 {
+				if err := tx.Free(blob.off); err != nil {
+					return err
+				}
+			}
+		}
+		if err := tx.Free(e); err != nil {
+			return err
+		}
+		if err := tx.Add(db.root+rootEntries, 8); err != nil {
+			return err
+		}
+		db.p.Store64(db.root+rootEntries, db.p.Load64(db.root+rootEntries)-1)
+		return nil
+	})
+	return existed, err
+}
+
+// DBSize returns num_dict_entries — the counter of the paper's Bug 3.
+func (db *DB) DBSize() uint64 {
+	return db.p.Load64(db.root + rootEntries)
+}
+
+// Keys returns every key (unordered).
+func (db *DB) Keys() []string {
+	var keys []string
+	dir := db.p.Load64(db.root + rootDir)
+	nb := db.p.Load64(db.root + rootNBuckets)
+	for b := uint64(0); b < nb; b++ {
+		for e := db.p.Load64(dir + 8*b); e != 0; e = db.p.Load64(e + entNext) {
+			keys = append(keys, db.loadString(db.p.Load64(e+entKeyOff), db.p.Load64(e+entKeyLen)))
+		}
+	}
+	return keys
+}
+
+// Verify checks that num_dict_entries matches the reachable entries and
+// that every key routes to its bucket.
+func (db *DB) Verify() error {
+	dir := db.p.Load64(db.root + rootDir)
+	nb := db.p.Load64(db.root + rootNBuckets)
+	if nb == 0 {
+		return fmt.Errorf("pmredis: no buckets")
+	}
+	n := uint64(0)
+	for b := uint64(0); b < nb; b++ {
+		for e := db.p.Load64(dir + 8*b); e != 0; e = db.p.Load64(e + entNext) {
+			k := db.loadString(db.p.Load64(e+entKeyOff), db.p.Load64(e+entKeyLen))
+			if db.bucket(k) != b {
+				return fmt.Errorf("pmredis: key %q in bucket %d, want %d", k, b, db.bucket(k))
+			}
+			n++
+			if n > 1<<22 {
+				return fmt.Errorf("pmredis: chain cycle suspected")
+			}
+		}
+	}
+	if c := db.DBSize(); c != n {
+		return fmt.Errorf("pmredis: num_dict_entries=%d but %d reachable entries", c, n)
+	}
+	return nil
+}
+
+// Do executes one command line ("SET k v", "GET k", ...) and returns the
+// reply in Redis's inline style.
+func (db *DB) Do(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("pmredis: empty command")
+	}
+	cmd := strings.ToUpper(fields[0])
+	switch {
+	case cmd == "PING":
+		return "+PONG", nil
+	case cmd == "SET" && len(fields) == 3:
+		if err := db.Set(fields[1], fields[2]); err != nil {
+			return "", err
+		}
+		return "+OK", nil
+	case cmd == "GET" && len(fields) == 2:
+		v, ok := db.Get(fields[1])
+		if !ok {
+			return "$-1", nil
+		}
+		return fmt.Sprintf("$%d %s", len(v), v), nil
+	case cmd == "DEL" && len(fields) == 2:
+		existed, err := db.Del(fields[1])
+		if err != nil {
+			return "", err
+		}
+		if existed {
+			return ":1", nil
+		}
+		return ":0", nil
+	case cmd == "EXISTS" && len(fields) == 2:
+		if _, ok := db.Get(fields[1]); ok {
+			return ":1", nil
+		}
+		return ":0", nil
+	case cmd == "DBSIZE":
+		return fmt.Sprintf(":%d", db.DBSize()), nil
+	case cmd == "KEYS":
+		return fmt.Sprintf("*%d %s", len(db.Keys()), strings.Join(db.Keys(), " ")), nil
+	default:
+		return "", fmt.Errorf("pmredis: unknown command %q", line)
+	}
+}
+
+// ServeConn serves the inline protocol on one connection until it closes.
+func (db *DB) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			fmt.Fprintf(conn, "+OK\n")
+			return nil
+		}
+		reply, err := db.Do(line)
+		if err != nil {
+			reply = "-ERR " + err.Error()
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", reply); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,220 @@
+package pmredis_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmredis"
+)
+
+// run executes fn against a fresh DB without detection.
+func run(t *testing.T, fn func(c *core.Ctx) error) {
+	t.Helper()
+	_, err := core.Run(core.Config{Mode: core.ModeOriginal, PoolSize: 4 << 20},
+		core.Target{Name: t.Name(), Pre: fn})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetDel(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		db, err := pmredis.Create(c, pmredis.Options{})
+		if err != nil {
+			return err
+		}
+		if err := db.Set("name", "redis"); err != nil {
+			return err
+		}
+		if err := db.Set("port", "6379"); err != nil {
+			return err
+		}
+		if v, ok := db.Get("name"); !ok || v != "redis" {
+			return fmt.Errorf("get name = %q, %v", v, ok)
+		}
+		if err := db.Set("name", "pm-redis"); err != nil {
+			return err
+		}
+		if v, _ := db.Get("name"); v != "pm-redis" {
+			return fmt.Errorf("after update: %q", v)
+		}
+		if db.DBSize() != 2 {
+			return fmt.Errorf("dbsize = %d, want 2", db.DBSize())
+		}
+		existed, err := db.Del("name")
+		if err != nil || !existed {
+			return fmt.Errorf("del name = %v, %v", existed, err)
+		}
+		if _, ok := db.Get("name"); ok {
+			return fmt.Errorf("name still present after DEL")
+		}
+		if db.DBSize() != 1 {
+			return fmt.Errorf("dbsize = %d, want 1", db.DBSize())
+		}
+		return db.Verify()
+	})
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		db, err := pmredis.Create(c, pmredis.Options{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			if err := db.Set(fmt.Sprintf("key:%d", i), fmt.Sprintf("val:%d", i)); err != nil {
+				return err
+			}
+		}
+		db2, err := pmredis.Open(c, pmredis.Options{})
+		if err != nil {
+			return err
+		}
+		if db2.DBSize() != 50 {
+			return fmt.Errorf("dbsize after reopen = %d", db2.DBSize())
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := db2.Get(fmt.Sprintf("key:%d", i))
+			if !ok || v != fmt.Sprintf("val:%d", i) {
+				return fmt.Errorf("key:%d = %q, %v", i, v, ok)
+			}
+		}
+		if got := len(db2.Keys()); got != 50 {
+			return fmt.Errorf("KEYS returned %d", got)
+		}
+		return db2.Verify()
+	})
+}
+
+func TestCommandInterface(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		db, err := pmredis.Create(c, pmredis.Options{})
+		if err != nil {
+			return err
+		}
+		steps := []struct{ cmd, want string }{
+			{"PING", "+PONG"},
+			{"SET lang go", "+OK"},
+			{"GET lang", "$2 go"},
+			{"EXISTS lang", ":1"},
+			{"EXISTS nope", ":0"},
+			{"DBSIZE", ":1"},
+			{"DEL lang", ":1"},
+			{"DEL lang", ":0"},
+			{"GET lang", "$-1"},
+		}
+		for _, s := range steps {
+			got, err := db.Do(s.cmd)
+			if err != nil {
+				return fmt.Errorf("%s: %v", s.cmd, err)
+			}
+			if got != s.want {
+				return fmt.Errorf("%s = %q, want %q", s.cmd, got, s.want)
+			}
+		}
+		if _, err := db.Do("BOGUS"); err == nil {
+			return fmt.Errorf("BOGUS accepted")
+		}
+		return nil
+	})
+}
+
+func TestServeConn(t *testing.T) {
+	run(t, func(c *core.Ctx) error {
+		db, err := pmredis.Create(c, pmredis.Options{})
+		if err != nil {
+			return err
+		}
+		client, server := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- db.ServeConn(server) }()
+		rd := bufio.NewScanner(client)
+		say := func(cmd string) string {
+			fmt.Fprintf(client, "%s\n", cmd)
+			if !rd.Scan() {
+				t.Fatalf("no reply to %q", cmd)
+			}
+			return rd.Text()
+		}
+		if got := say("SET greeting hello"); got != "+OK" {
+			return fmt.Errorf("SET over conn = %q", got)
+		}
+		if got := say("GET greeting"); !strings.Contains(got, "hello") {
+			return fmt.Errorf("GET over conn = %q", got)
+		}
+		if got := say("BOGUS"); !strings.HasPrefix(got, "-ERR") {
+			return fmt.Errorf("error reply = %q", got)
+		}
+		say("QUIT")
+		client.Close()
+		return <-done
+	})
+}
+
+// redisTarget is the detection setup of §6.1: updates as the pre-failure
+// RoI, recovery + resumption as the post-failure RoI.
+func redisTarget(name string, opts pmredis.Options, queries int) core.Target {
+	return core.Target{
+		Name: name,
+		Pre: func(c *core.Ctx) error {
+			db, err := pmredis.Create(c, opts)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < queries; i++ {
+				if err := db.Set(fmt.Sprintf("key:%d", i), fmt.Sprintf("val:%d", i)); err != nil {
+					return err
+				}
+			}
+			_, err = db.Del("key:0")
+			return err
+		},
+		Post: func(c *core.Ctx) error {
+			db, err := pmredis.Open(c, opts)
+			if err != nil {
+				return nil // creation had not committed; server starts fresh
+			}
+			db.DBSize() // the Bug 3 read
+			if _, err := db.Do("SET resumed yes"); err != nil {
+				return err
+			}
+			return db.Verify()
+		},
+	}
+}
+
+// TestCleanRedisUnderDetection: the correct server survives all failure
+// points without reports.
+func TestCleanRedisUnderDetection(t *testing.T) {
+	res, err := core.Run(core.Config{PoolSize: 4 << 20},
+		redisTarget("redis-clean", pmredis.Options{}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 0 {
+		t.Fatalf("clean redis produced reports:\n%s", res)
+	}
+	if res.FailurePoints < 10 {
+		t.Errorf("failure points = %d, want many", res.FailurePoints)
+	}
+}
+
+// TestBug3InitRaceDetected reproduces the paper's Bug 3: the server
+// initializes num_dict_entries without transaction protection; a failure
+// during initialization lets the post-failure server read a counter whose
+// persistence was never guaranteed.
+func TestBug3InitRaceDetected(t *testing.T) {
+	res, err := core.Run(core.Config{PoolSize: 4 << 20},
+		redisTarget("redis-bug3", pmredis.Options{InitRaceBug: true}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if res.Count(core.CrossFailureRace) == 0 {
+		t.Fatalf("Bug 3 went undetected:\n%s", res)
+	}
+}

@@ -1,0 +1,391 @@
+// Package shadow implements XFDetector's shadow persistent memory (§5.4 of
+// the paper): a per-byte model of PM status that the detection backend
+// updates while replaying the pre-failure trace and queries while checking
+// the post-failure trace.
+//
+// For each PM byte the shadow records:
+//
+//   - the persistence state of Fig. 9: Unmodified → (WRITE) → Modified →
+//     (CLWB) → WritebackPending → (SFENCE) → Persisted, with the redundant
+//     transitions (flushing unmodified or already-persisted data) reported
+//     as performance bugs;
+//   - the epoch of its last write and the epoch at which it last became
+//     persisted, where the global timestamp ("epoch") increments after each
+//     ordering point, exactly like the paper's global timestamp;
+//   - the source location of its last writer, for bug reports;
+//   - whether it is protected by a transaction's undo log (PMDK-style
+//     TX_ADD semantics, §5.4: "objects that have been added to the
+//     transaction are regarded as consistent").
+//
+// Commit variables (§3.2) are registered through RegCommitVar /
+// RegCommitRange trace entries; see commit.go for the Eq. 3 consistency
+// rule. Post-failure reads are classified by a PostChecker; see
+// postcheck.go.
+package shadow
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// PersistState is the per-byte persistence FSM state of Fig. 9.
+type PersistState uint8
+
+const (
+	// Unmodified: never written during the traced execution.
+	Unmodified PersistState = iota
+	// Modified: written but not yet written back; lost on failure.
+	Modified
+	// WritebackPending: written back (CLWB/CLFLUSH/NT store) but not yet
+	// fenced; still not guaranteed persistent.
+	WritebackPending
+	// Persisted: written back and fenced; guaranteed to survive a failure.
+	Persisted
+)
+
+// String returns the single-letter code the paper uses (U/M/W/P).
+func (s PersistState) String() string {
+	switch s {
+	case Unmodified:
+		return "U"
+	case Modified:
+		return "M"
+	case WritebackPending:
+		return "W"
+	case Persisted:
+		return "P"
+	}
+	return fmt.Sprintf("PersistState(%d)", uint8(s))
+}
+
+// PerfBugKind classifies the performance bugs XFDetector reports while
+// updating the shadow PM (§5.4, yellow edges of Fig. 9).
+type PerfBugKind uint8
+
+const (
+	// RedundantFlush is a writeback covering no modified data (flushing
+	// unmodified, already-pending, or already-persisted lines).
+	RedundantFlush PerfBugKind = iota
+	// DuplicateTxAdd is a TX_ADD fully covered by an earlier TX_ADD of the
+	// same transaction.
+	DuplicateTxAdd
+)
+
+// String names the performance bug kind.
+func (k PerfBugKind) String() string {
+	switch k {
+	case RedundantFlush:
+		return "redundant-writeback"
+	case DuplicateTxAdd:
+		return "duplicate-tx-add"
+	}
+	return fmt.Sprintf("PerfBugKind(%d)", uint8(k))
+}
+
+// PerfBug is one performance-bug observation.
+type PerfBug struct {
+	Kind PerfBugKind
+	Addr uint64
+	Size uint64
+	IP   string
+}
+
+// PM is the shadow persistent memory for one pool.
+type PM struct {
+	size uint64
+
+	state        []PersistState
+	writeEpoch   []uint32 // epoch of last write; 0 = never written
+	persistEpoch []uint32 // epoch at which the byte last became persisted
+	writerIdx    []uint32 // 1-based index into writers; 0 = none
+	txSafe       []bool   // protected by a (committed or active) undo entry
+	txAddGen     []uint32 // generation of the tx that last covered the byte
+	txExplicit   []uint32 // generation of the tx that last TX_ADDed the byte explicitly
+
+	writers   []string // interned writer locations
+	writerIDs map[string]uint32
+
+	pendingLines map[uint64]struct{} // line indices with writeback-pending bytes
+	clock        uint32              // global timestamp; increments after each SFence
+
+	txDepth int
+	txGen   uint32
+	// curTx accumulates the ranges TX_ADDed (or transactionally
+	// allocated) by the open transaction. Undo-log protection lasts only
+	// until commit or abort: afterwards the data's safety rests on the
+	// library actually having written it back, so an unflushed commit is
+	// detectable as a race.
+	curTx []txRange
+
+	commitVars []*commitVar
+	assocs     []assoc
+
+	onPerf func(PerfBug) // optional performance-bug callback
+
+	// Post-failure check scratch, reused across failure points via the
+	// generation counter (see postcheck.go).
+	postWrittenGen []uint32
+	checkedGen     []uint32
+	postGen        uint32
+}
+
+// NewPM returns a shadow for a pool of the given size with the clock at
+// epoch 1 (epoch 0 is reserved for "never").
+func NewPM(size uint64) *PM {
+	return &PM{
+		size:           size,
+		state:          make([]PersistState, size),
+		writeEpoch:     make([]uint32, size),
+		persistEpoch:   make([]uint32, size),
+		writerIdx:      make([]uint32, size),
+		txSafe:         make([]bool, size),
+		txAddGen:       make([]uint32, size),
+		txExplicit:     make([]uint32, size),
+		writerIDs:      make(map[string]uint32),
+		pendingLines:   make(map[uint64]struct{}),
+		clock:          1,
+		postWrittenGen: make([]uint32, size),
+		checkedGen:     make([]uint32, size),
+	}
+}
+
+// Size returns the shadowed pool size.
+func (s *PM) Size() uint64 { return s.size }
+
+// Clock returns the current global timestamp.
+func (s *PM) Clock() uint32 { return s.clock }
+
+// SetPerfBugHandler installs the callback invoked for each performance-bug
+// observation. A nil handler disables reporting.
+func (s *PM) SetPerfBugHandler(f func(PerfBug)) { s.onPerf = f }
+
+// State returns the persistence state of the byte at addr.
+func (s *PM) State(addr uint64) PersistState { return s.state[addr] }
+
+// WriteEpoch returns the epoch of the last write to addr (0 if never).
+func (s *PM) WriteEpoch(addr uint64) uint32 { return s.writeEpoch[addr] }
+
+// PersistEpoch returns the epoch at which addr last became persisted.
+func (s *PM) PersistEpoch(addr uint64) uint32 { return s.persistEpoch[addr] }
+
+// TxProtected reports whether addr is covered by undo-log protection.
+func (s *PM) TxProtected(addr uint64) bool { return s.txSafe[addr] }
+
+// WriterIP returns the source location of the last writer of addr.
+func (s *PM) WriterIP(addr uint64) string {
+	if i := s.writerIdx[addr]; i != 0 {
+		return s.writers[i-1]
+	}
+	return ""
+}
+
+func (s *PM) internWriter(ip string) uint32 {
+	if ip == "" {
+		return 0
+	}
+	if id, ok := s.writerIDs[ip]; ok {
+		return id
+	}
+	s.writers = append(s.writers, ip)
+	id := uint32(len(s.writers)) // 1-based
+	s.writerIDs[ip] = id
+	return id
+}
+
+func (s *PM) clip(addr, size uint64) (uint64, uint64) {
+	if addr >= s.size {
+		return s.size, s.size
+	}
+	end := addr + size
+	if end > s.size || end < addr {
+		end = s.size
+	}
+	return addr, end
+}
+
+// Apply updates the shadow with one pre-failure trace entry. Entries whose
+// kinds carry no persistence meaning (reads, RoI markers, function
+// boundaries) are ignored.
+func (s *PM) Apply(e trace.Entry) {
+	switch e.Kind {
+	case trace.Write, trace.CommitVarWrite:
+		s.applyWrite(e.Addr, e.Size, e.IP)
+	case trace.NTStore:
+		s.applyNTStore(e.Addr, e.Size, e.IP)
+	case trace.CLWB, trace.CLFlush:
+		s.applyFlush(e.Addr, e.Size, e.IP)
+	case trace.SFence:
+		s.applyFence()
+	case trace.TxBegin:
+		s.txDepth++
+		if s.txDepth == 1 {
+			s.txGen++
+		}
+	case trace.TxCommit, trace.TxAbort:
+		if s.txDepth > 0 {
+			s.txDepth--
+		}
+		if s.txDepth == 0 {
+			s.endTxProtection()
+		}
+	case trace.TxAdd:
+		s.applyTxAdd(e.Addr, e.Size, e.IP, true)
+	case trace.TxAlloc:
+		// Transactionally allocated memory is rolled back (freed) on
+		// abort, so, like TX_ADDed data, it is recoverable. It does not
+		// count toward duplicate-TX_ADD detection: explicitly adding a
+		// freshly allocated object afterwards is common, correct PM code.
+		s.applyTxAdd(e.Addr, e.Size, e.IP, false)
+	case trace.TxFree:
+		// The freed range is no longer reachable through consistent
+		// pointers after commit; nothing to track.
+	case trace.AtomicAlloc:
+		s.applyAtomicAlloc(e.Addr, e.Size, e.IP)
+	case trace.RegCommitVar:
+		s.registerCommitVar(e.Addr, e.Size)
+	case trace.RegCommitRange:
+		s.registerCommitRange(e.Addr, e.Size, e.Addr2, e.Size2)
+	}
+}
+
+func (s *PM) applyWrite(addr, size uint64, ip string) {
+	addr, end := s.clip(addr, size)
+	if addr == end {
+		return
+	}
+	w := s.internWriter(ip)
+	inTx := s.txDepth > 0
+	for b := addr; b < end; b++ {
+		s.state[b] = Modified
+		s.writeEpoch[b] = s.clock
+		s.writerIdx[b] = w
+		if s.txSafe[b] {
+			// A write outside any transaction, or inside a transaction
+			// that did not TX_ADD this byte, voids the protection.
+			if !inTx || s.txAddGen[b] != s.txGen {
+				s.txSafe[b] = false
+			}
+		}
+	}
+	s.noteCommitWrites(addr, end)
+}
+
+func (s *PM) applyNTStore(addr, size uint64, ip string) {
+	addr, end := s.clip(addr, size)
+	if addr == end {
+		return
+	}
+	w := s.internWriter(ip)
+	inTx := s.txDepth > 0
+	for b := addr; b < end; b++ {
+		s.state[b] = WritebackPending
+		s.writeEpoch[b] = s.clock
+		s.writerIdx[b] = w
+		if s.txSafe[b] && (!inTx || s.txAddGen[b] != s.txGen) {
+			s.txSafe[b] = false
+		}
+	}
+	for line := pmem.LineDown(addr); line < end; line += pmem.CacheLineSize {
+		s.pendingLines[line] = struct{}{}
+	}
+	s.noteCommitWrites(addr, end)
+}
+
+func (s *PM) applyFlush(addr, size uint64, ip string) {
+	start := pmem.LineDown(addr)
+	limit := pmem.LineUp(addr + size)
+	start, limit = s.clip(start, limit-start)
+	useful := false
+	for line := start; line < limit; line += pmem.CacheLineSize {
+		lineEnd := line + pmem.CacheLineSize
+		if lineEnd > s.size {
+			lineEnd = s.size
+		}
+		for b := line; b < lineEnd; b++ {
+			if s.state[b] == Modified {
+				s.state[b] = WritebackPending
+				s.pendingLines[line] = struct{}{}
+				useful = true
+			}
+		}
+	}
+	if !useful && s.onPerf != nil {
+		s.onPerf(PerfBug{Kind: RedundantFlush, Addr: addr, Size: size, IP: ip})
+	}
+}
+
+func (s *PM) applyFence() {
+	for line := range s.pendingLines {
+		lineEnd := line + pmem.CacheLineSize
+		if lineEnd > s.size {
+			lineEnd = s.size
+		}
+		for b := line; b < lineEnd; b++ {
+			if s.state[b] == WritebackPending {
+				s.state[b] = Persisted
+				s.persistEpoch[b] = s.clock
+			}
+		}
+	}
+	clear(s.pendingLines)
+	s.noteCommitPersists()
+	s.clock++
+}
+
+func (s *PM) applyTxAdd(addr, size uint64, ip string, explicit bool) {
+	addr, end := s.clip(addr, size)
+	if addr == end {
+		return
+	}
+	if s.txDepth == 0 {
+		// A TX_ADD outside a transaction protects nothing; ignore. The
+		// pmobj library reports this as a usage error before it gets here.
+		return
+	}
+	duplicate := explicit
+	for b := addr; b < end; b++ {
+		if s.txExplicit[b] != s.txGen {
+			duplicate = false
+		}
+		s.txAddGen[b] = s.txGen
+		if explicit {
+			s.txExplicit[b] = s.txGen
+		}
+		s.txSafe[b] = true
+	}
+	s.curTx = append(s.curTx, txRange{addr, end - addr})
+	if duplicate && s.onPerf != nil {
+		s.onPerf(PerfBug{Kind: DuplicateTxAdd, Addr: addr, Size: size, IP: ip})
+	}
+}
+
+type txRange struct{ addr, size uint64 }
+
+// endTxProtection runs when the outermost transaction commits or aborts:
+// the undo log no longer covers its ranges, so their post-failure safety
+// falls back to the persistence state (the commit's writeback).
+func (s *PM) endTxProtection() {
+	for _, r := range s.curTx {
+		for b := r.addr; b < r.addr+r.size; b++ {
+			s.txSafe[b] = false
+		}
+	}
+	s.curTx = s.curTx[:0]
+}
+
+func (s *PM) applyAtomicAlloc(addr, size uint64, ip string) {
+	addr, end := s.clip(addr, size)
+	w := s.internWriter(ip)
+	for b := addr; b < end; b++ {
+		// Freshly allocated memory has indeterminate content: with a
+		// different allocator it may not be zeroed (paper Bug 2), so it is
+		// modified-but-not-guaranteed-persisted until the program
+		// initializes and persists it.
+		s.state[b] = Modified
+		s.writeEpoch[b] = s.clock
+		s.writerIdx[b] = w
+		s.txSafe[b] = false
+	}
+}

@@ -1,0 +1,26 @@
+package workloads
+
+import "github.com/pmemgo/xfdetector/internal/pmobj"
+
+// adder wraps a transaction and dedupes TX_ADDs: backing the same node up
+// twice in one transaction is the duplicated-TX_ADD performance bug the
+// backend reports, so correct workload code adds each range once. The
+// seeded duplicate-add faults bypass the adder on purpose.
+type adder struct {
+	tx    *pmobj.Tx
+	added map[uint64]bool
+}
+
+func newAdder(tx *pmobj.Tx) *adder {
+	return &adder{tx: tx, added: make(map[uint64]bool)}
+}
+
+// add TX_ADDs [off, off+size) unless this offset was already added in this
+// transaction.
+func (a *adder) add(off, size uint64) error {
+	if a.added[off] {
+		return nil
+	}
+	a.added[off] = true
+	return a.tx.Add(off, size)
+}

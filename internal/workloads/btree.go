@@ -1,0 +1,490 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// BTree is a persistent B-tree in the style of PMDK's btree example: fixed
+// order, transactional updates, preemptive splitting on descent. Deletion
+// replaces internal keys with their in-order predecessor/successor and
+// tolerates underfull nodes (as the PMDK example does).
+//
+// Root object layout (128 bytes):
+//
+//	+0  treeRoot  offset of the root node (0 = empty tree)
+//	+8  count     number of keys
+//	+64 cachedCount  a raw-store duplicate of count, recomputed by recovery
+//	                 by walking the tree (the Fig. 1 recover_alt pattern)
+//
+// Node layout (88 bytes): used | keys[3] | vals[3] | kids[4]. A node is a
+// leaf iff all children are zero.
+type BTree struct {
+	c     *core.Ctx
+	po    *pmobj.Pool
+	p     *pmem.Pool
+	root  uint64
+	fault string
+}
+
+const (
+	btKeys = 3 // max keys per node
+	btKids = btKeys + 1
+
+	btnUsed = 0
+	btnKeys = 8
+	btnVals = btnKeys + 8*btKeys
+	btnKids = btnVals + 8*btKeys
+	btnSize = btnKids + 8*btKids
+
+	wrTreeRoot    = 0
+	wrCount       = 8
+	wrCachedCount = 64
+	wrRootSize    = 128
+)
+
+// BTreeMaker builds B-Tree stores.
+var BTreeMaker = Maker{
+	Name: "B-Tree",
+	Create: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Create(c.Pool(), wrRootSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &BTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}, nil
+	},
+	Open: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Open(c.Pool())
+		if err != nil {
+			return nil, err
+		}
+		t := &BTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}
+		if err := t.recoverCachedCount(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	},
+}
+
+// recoverCachedCount recomputes the raw-store count duplicate from the tree
+// itself and overwrites it, so resumption never depends on whether the last
+// raw update persisted (the Fig. 1 recover_alt pattern). The seeded
+// "naive-recovery" fault skips it, recreating Fig. 1's post-failure bug.
+func (t *BTree) recoverCachedCount() error {
+	if faultIs(t.fault, "btree-naive-recovery") {
+		return nil // BUG: trusts the possibly non-persisted cached count
+	}
+	n, err := t.walkCount(t.p.Load64(t.root + wrTreeRoot))
+	if err != nil {
+		return err
+	}
+	t.p.Store64(t.root+wrCachedCount, n)
+	t.p.Persist(t.root+wrCachedCount, 8)
+	return nil
+}
+
+func (t *BTree) walkCount(node uint64) (uint64, error) {
+	if node == 0 {
+		return 0, nil
+	}
+	used := t.p.Load64(node + btnUsed)
+	if used > btKeys {
+		return 0, fmt.Errorf("btree: node 0x%x has impossible used=%d", node, used)
+	}
+	total := used
+	for i := uint64(0); i <= used; i++ {
+		kid := t.p.Load64(node + btnKids + 8*i)
+		if kid != 0 {
+			sub, err := t.walkCount(kid)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+	}
+	return total, nil
+}
+
+func (t *BTree) isLeaf(node uint64) bool {
+	for i := uint64(0); i < btKids; i++ {
+		if t.p.Load64(node+btnKids+8*i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bumpCached maintains the raw-store cached count outside the transaction.
+func (t *BTree) bumpCached(delta int64) {
+	v := t.p.Load64(t.root + wrCachedCount)
+	t.p.Store64(t.root+wrCachedCount, uint64(int64(v)+delta))
+	t.p.Persist(t.root+wrCachedCount, 8)
+}
+
+// Insert adds or updates a key.
+func (t *BTree) Insert(key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("btree: zero key")
+	}
+	updated := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		rootNode := t.p.Load64(t.root + wrTreeRoot)
+		if rootNode == 0 {
+			n, err := tx.Alloc(btnSize)
+			if err != nil {
+				return err
+			}
+			t.p.Store64(n+btnKeys, key)
+			t.p.Store64(n+btnVals, value)
+			t.p.Store64(n+btnUsed, 1)
+			if !faultIs(t.fault, "btree-skip-add-grow-root") {
+				if err := a.add(t.root, 16); err != nil {
+					return err
+				}
+			}
+			t.p.Store64(t.root+wrTreeRoot, n)
+			t.p.Store64(t.root+wrCount, 1)
+			return nil
+		}
+		// Preemptive split of a full root.
+		if t.p.Load64(rootNode+btnUsed) == btKeys {
+			newRoot, err := tx.Alloc(btnSize)
+			if err != nil {
+				return err
+			}
+			t.p.Store64(newRoot+btnKids, rootNode)
+			if err := t.splitChild(a, newRoot, 0); err != nil {
+				return err
+			}
+			if faultIs(t.fault, "btree-root-ptr-raw") {
+				// BUG: the root pointer is updated with a raw store that is
+				// neither undo-logged nor written back.
+			} else if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+			t.p.Store64(t.root+wrTreeRoot, newRoot)
+			rootNode = newRoot
+		}
+		node := rootNode
+		for {
+			used := t.p.Load64(node + btnUsed)
+			// Existing key: update in place.
+			for i := uint64(0); i < used; i++ {
+				if t.p.Load64(node+btnKeys+8*i) == key {
+					if !faultIs(t.fault, "btree-skip-add-update") {
+						if err := a.add(node, btnSize); err != nil {
+							return err
+						}
+					}
+					t.p.Store64(node+btnVals+8*i, value)
+					updated = true
+					return nil
+				}
+			}
+			if t.isLeaf(node) {
+				return t.insertIntoLeaf(a, node, key, value)
+			}
+			i := uint64(0)
+			for i < used && key > t.p.Load64(node+btnKeys+8*i) {
+				i++
+			}
+			child := t.p.Load64(node + btnKids + 8*i)
+			if t.p.Load64(child+btnUsed) == btKeys {
+				if err := t.splitChild(a, node, i); err != nil {
+					return err
+				}
+				// Re-examine this node: the hoisted separator may equal
+				// the key (update case) or change the descent slot.
+				continue
+			}
+			node = child
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if !updated {
+		t.bumpCached(1)
+	}
+	if faultIs(t.fault, "btree-write-after-commit") {
+		// BUG: a node field is written after TX_END with no writeback.
+		if n := t.p.Load64(t.root + wrTreeRoot); n != 0 {
+			t.p.Store64(n+btnVals, value)
+		}
+	}
+	if faultIs(t.fault, "btree-extra-flush") {
+		// BUG (performance): everything is already persisted by the commit.
+		t.p.Persist(t.root, 16)
+	}
+	return nil
+}
+
+// insertIntoLeaf places key into a non-full leaf.
+func (t *BTree) insertIntoLeaf(a *adder, node, key, value uint64) error {
+	if faultIs(t.fault, "btree-dup-add-leaf") {
+		// BUG (performance): the same node is TX_ADDed twice.
+		if err := a.tx.Add(node, btnSize); err != nil {
+			return err
+		}
+		if err := a.tx.Add(node, btnSize); err != nil {
+			return err
+		}
+	} else if !faultIs(t.fault, "btree-skip-add-leaf") {
+		if err := a.add(node, btnSize); err != nil {
+			return err
+		}
+	}
+	used := t.p.Load64(node + btnUsed)
+	i := used
+	for i > 0 && t.p.Load64(node+btnKeys+8*(i-1)) > key {
+		t.p.Store64(node+btnKeys+8*i, t.p.Load64(node+btnKeys+8*(i-1)))
+		t.p.Store64(node+btnVals+8*i, t.p.Load64(node+btnVals+8*(i-1)))
+		i--
+	}
+	t.p.Store64(node+btnKeys+8*i, key)
+	t.p.Store64(node+btnVals+8*i, value)
+	t.p.Store64(node+btnUsed, used+1)
+	return t.bumpCount(a, 1)
+}
+
+func (t *BTree) bumpCount(a *adder, delta int64) error {
+	if !faultIs(t.fault, "btree-skip-add-count") && !faultIs(t.fault, "btree-remove-count-raw") {
+		if err := a.add(t.root, 16); err != nil {
+			return err
+		}
+	}
+	v := t.p.Load64(t.root + wrCount)
+	t.p.Store64(t.root+wrCount, uint64(int64(v)+delta))
+	return nil
+}
+
+// splitChild splits the full child at parent's slot i, hoisting the median
+// key into the parent.
+func (t *BTree) splitChild(a *adder, parent, i uint64) error {
+	child := t.p.Load64(parent + btnKids + 8*i)
+	right, err := a.tx.Alloc(btnSize)
+	if err != nil {
+		return err
+	}
+	if !faultIs(t.fault, "btree-skip-add-split-child") {
+		if err := a.add(child, btnSize); err != nil {
+			return err
+		}
+	}
+	if !faultIs(t.fault, "btree-skip-add-split-parent") {
+		if err := a.add(parent, btnSize); err != nil {
+			return err
+		}
+	}
+	// Median (index 1 of 3) moves up; key/val 2 move right.
+	medianKey := t.p.Load64(child + btnKeys + 8)
+	medianVal := t.p.Load64(child + btnVals + 8)
+	t.p.Store64(right+btnKeys, t.p.Load64(child+btnKeys+16))
+	t.p.Store64(right+btnVals, t.p.Load64(child+btnVals+16))
+	t.p.Store64(right+btnUsed, 1)
+	if !t.isLeaf(child) {
+		t.p.Store64(right+btnKids, t.p.Load64(child+btnKids+16))
+		t.p.Store64(right+btnKids+8, t.p.Load64(child+btnKids+24))
+		t.p.Store64(child+btnKids+16, 0)
+		t.p.Store64(child+btnKids+24, 0)
+	}
+	t.p.Store64(child+btnUsed, 1)
+
+	used := t.p.Load64(parent + btnUsed)
+	for j := used; j > i; j-- {
+		t.p.Store64(parent+btnKeys+8*j, t.p.Load64(parent+btnKeys+8*(j-1)))
+		t.p.Store64(parent+btnVals+8*j, t.p.Load64(parent+btnVals+8*(j-1)))
+		t.p.Store64(parent+btnKids+8*(j+1), t.p.Load64(parent+btnKids+8*j))
+	}
+	t.p.Store64(parent+btnKeys+8*i, medianKey)
+	t.p.Store64(parent+btnVals+8*i, medianVal)
+	t.p.Store64(parent+btnKids+8*(i+1), right)
+	t.p.Store64(parent+btnUsed, used+1)
+	return nil
+}
+
+// Get looks key up.
+func (t *BTree) Get(key uint64) (uint64, bool, error) {
+	node := t.p.Load64(t.root + wrTreeRoot)
+	for node != 0 {
+		used := t.p.Load64(node + btnUsed)
+		i := uint64(0)
+		for i < used && key > t.p.Load64(node+btnKeys+8*i) {
+			i++
+		}
+		if i < used && t.p.Load64(node+btnKeys+8*i) == key {
+			return t.p.Load64(node + btnVals + 8*i), true, nil
+		}
+		node = t.p.Load64(node + btnKids + 8*i)
+	}
+	return 0, false, nil
+}
+
+// Remove deletes key if present.
+func (t *BTree) Remove(key uint64) error {
+	removed := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		rootNode := t.p.Load64(t.root + wrTreeRoot)
+		if rootNode == 0 {
+			return nil
+		}
+		var err error
+		removed, err = t.removeFrom(a, rootNode, key)
+		if err != nil || !removed {
+			return err
+		}
+		if faultIs(t.fault, "btree-remove-count-raw") {
+			// BUG: count is decremented with a raw, unprotected store.
+			v := t.p.Load64(t.root + wrCount)
+			t.p.Store64(t.root+wrCount, v-1)
+			return nil
+		}
+		return t.bumpCount(a, -1)
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		t.bumpCached(-1)
+	}
+	return nil
+}
+
+func (t *BTree) removeFrom(a *adder, node, key uint64) (bool, error) {
+	used := t.p.Load64(node + btnUsed)
+	i := uint64(0)
+	for i < used && key > t.p.Load64(node+btnKeys+8*i) {
+		i++
+	}
+	found := i < used && t.p.Load64(node+btnKeys+8*i) == key
+	leaf := t.isLeaf(node)
+	switch {
+	case found && leaf:
+		if !faultIs(t.fault, "btree-skip-add-remove-leaf") {
+			if err := a.add(node, btnSize); err != nil {
+				return false, err
+			}
+		}
+		for j := i; j+1 < used; j++ {
+			t.p.Store64(node+btnKeys+8*j, t.p.Load64(node+btnKeys+8*(j+1)))
+			t.p.Store64(node+btnVals+8*j, t.p.Load64(node+btnVals+8*(j+1)))
+		}
+		t.p.Store64(node+btnUsed, used-1)
+		return true, nil
+	case found:
+		if !faultIs(t.fault, "btree-skip-add-remove-internal") {
+			if err := a.add(node, btnSize); err != nil {
+				return false, err
+			}
+		}
+		if pk, pv, ok := t.subtreeMax(t.p.Load64(node + btnKids + 8*i)); ok {
+			t.p.Store64(node+btnKeys+8*i, pk)
+			t.p.Store64(node+btnVals+8*i, pv)
+			return t.removeFrom(a, t.p.Load64(node+btnKids+8*i), pk)
+		}
+		if sk, sv, ok := t.subtreeMin(t.p.Load64(node + btnKids + 8*(i+1))); ok {
+			t.p.Store64(node+btnKeys+8*i, sk)
+			t.p.Store64(node+btnVals+8*i, sv)
+			return t.removeFrom(a, t.p.Load64(node+btnKids+8*(i+1)), sk)
+		}
+		// Both adjacent subtrees are empty: drop the key and the (empty)
+		// right child.
+		for j := i; j+1 < used; j++ {
+			t.p.Store64(node+btnKeys+8*j, t.p.Load64(node+btnKeys+8*(j+1)))
+			t.p.Store64(node+btnVals+8*j, t.p.Load64(node+btnVals+8*(j+1)))
+		}
+		for j := i + 1; j < used; j++ {
+			t.p.Store64(node+btnKids+8*j, t.p.Load64(node+btnKids+8*(j+1)))
+		}
+		t.p.Store64(node+btnKids+8*used, 0)
+		t.p.Store64(node+btnUsed, used-1)
+		return true, nil
+	case leaf:
+		return false, nil
+	default:
+		return t.removeFrom(a, t.p.Load64(node+btnKids+8*i), key)
+	}
+}
+
+func (t *BTree) subtreeMax(node uint64) (uint64, uint64, bool) {
+	if node == 0 {
+		return 0, 0, false
+	}
+	used := t.p.Load64(node + btnUsed)
+	if k, v, ok := t.subtreeMax(t.p.Load64(node + btnKids + 8*used)); ok {
+		return k, v, ok
+	}
+	if used > 0 {
+		return t.p.Load64(node + btnKeys + 8*(used-1)), t.p.Load64(node + btnVals + 8*(used-1)), true
+	}
+	return t.subtreeMax(t.p.Load64(node + btnKids))
+}
+
+func (t *BTree) subtreeMin(node uint64) (uint64, uint64, bool) {
+	if node == 0 {
+		return 0, 0, false
+	}
+	if k, v, ok := t.subtreeMin(t.p.Load64(node + btnKids)); ok {
+		return k, v, ok
+	}
+	used := t.p.Load64(node + btnUsed)
+	if used > 0 {
+		return t.p.Load64(node + btnKeys), t.p.Load64(node + btnVals), true
+	}
+	return t.subtreeMin(t.p.Load64(node + btnKids + 8*used))
+}
+
+// Count returns the transactional key count.
+func (t *BTree) Count() (uint64, error) {
+	return t.p.Load64(t.root + wrCount), nil
+}
+
+// Verify walks the tree checking order, reachable-key count against both
+// counters, and node sanity.
+func (t *BTree) Verify() error {
+	var keys []uint64
+	var walk func(node uint64) error
+	walk = func(node uint64) error {
+		if node == 0 {
+			return nil
+		}
+		used := t.p.Load64(node + btnUsed)
+		if used > btKeys {
+			return fmt.Errorf("btree: node 0x%x used=%d out of range", node, used)
+		}
+		leaf := t.isLeaf(node)
+		for i := uint64(0); i < used; i++ {
+			if !leaf {
+				if err := walk(t.p.Load64(node + btnKids + 8*i)); err != nil {
+					return err
+				}
+			}
+			keys = append(keys, t.p.Load64(node+btnKeys+8*i))
+			t.p.Load64(node + btnVals + 8*i) // values must be readable too
+		}
+		if !leaf {
+			return walk(t.p.Load64(node + btnKids + 8*used))
+		}
+		return nil
+	}
+	if err := walk(t.p.Load64(t.root + wrTreeRoot)); err != nil {
+		return err
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("btree: keys out of order at %d: %#x >= %#x", i, keys[i-1], keys[i])
+		}
+	}
+	if count := t.p.Load64(t.root + wrCount); count != uint64(len(keys)) {
+		return fmt.Errorf("btree: count=%d but %d reachable keys", count, len(keys))
+	}
+	if cached := t.p.Load64(t.root + wrCachedCount); cached != uint64(len(keys)) {
+		return fmt.Errorf("btree: cachedCount=%d but %d reachable keys", cached, len(keys))
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// CTree is a persistent crit-bit tree in the style of PMDK's ctree example:
+// internal nodes test the most significant bit where two keys differ,
+// leaves hold key/value pairs, and updates are transactional.
+//
+// Root object layout (128 bytes):
+//
+//	+0  rootNode     offset of the root node (0 = empty)
+//	+8  count
+//	+64 cachedCount  raw-store duplicate, recomputed by recovery
+//
+// Node layout (32 bytes): tag | a | b | c. Leaves (tag 0) use a=key,
+// b=value; internal nodes (tag 1) use a=diffBit, b=child0, c=child1.
+// Internal nodes closer to the root test higher bit indices.
+type CTree struct {
+	c     *core.Ctx
+	po    *pmobj.Pool
+	p     *pmem.Pool
+	root  uint64
+	fault string
+}
+
+const (
+	ctnTag  = 0
+	ctnA    = 8
+	ctnB    = 16
+	ctnC    = 24
+	ctnSize = 32
+
+	ctLeaf     = 0
+	ctInternal = 1
+)
+
+// CTreeMaker builds C-Tree stores.
+var CTreeMaker = Maker{
+	Name: "C-Tree",
+	Create: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Create(c.Pool(), wrRootSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &CTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}, nil
+	},
+	Open: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Open(c.Pool())
+		if err != nil {
+			return nil, err
+		}
+		t := &CTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}
+		if err := t.recoverCachedCount(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	},
+}
+
+func (t *CTree) recoverCachedCount() error {
+	if faultIs(t.fault, "ctree-naive-recovery") {
+		return nil // BUG: trusts the possibly non-persisted cached count
+	}
+	n, err := t.walkCount(t.p.Load64(t.root + wrTreeRoot))
+	if err != nil {
+		return err
+	}
+	t.p.Store64(t.root+wrCachedCount, n)
+	t.p.Persist(t.root+wrCachedCount, 8)
+	return nil
+}
+
+func (t *CTree) walkCount(node uint64) (uint64, error) {
+	if node == 0 {
+		return 0, nil
+	}
+	if t.p.Load64(node+ctnTag) == ctLeaf {
+		return 1, nil
+	}
+	l, err := t.walkCount(t.p.Load64(node + ctnB))
+	if err != nil {
+		return 0, err
+	}
+	r, err := t.walkCount(t.p.Load64(node + ctnC))
+	if err != nil {
+		return 0, err
+	}
+	return l + r, nil
+}
+
+func (t *CTree) bumpCached(delta int64) {
+	v := t.p.Load64(t.root + wrCachedCount)
+	t.p.Store64(t.root+wrCachedCount, uint64(int64(v)+delta))
+	t.p.Persist(t.root+wrCachedCount, 8)
+}
+
+// descendToLeaf returns the leaf the key routes to (tree must be nonempty).
+func (t *CTree) descendToLeaf(key uint64) uint64 {
+	node := t.p.Load64(t.root + wrTreeRoot)
+	for t.p.Load64(node+ctnTag) == ctInternal {
+		bit := t.p.Load64(node + ctnA)
+		if key&(1<<bit) == 0 {
+			node = t.p.Load64(node + ctnB)
+		} else {
+			node = t.p.Load64(node + ctnC)
+		}
+	}
+	return node
+}
+
+// Insert adds or updates a key.
+func (t *CTree) Insert(key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("ctree: zero key")
+	}
+	inserted := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		rootNode := t.p.Load64(t.root + wrTreeRoot)
+		if rootNode == 0 {
+			leaf, err := tx.Alloc(ctnSize)
+			if err != nil {
+				return err
+			}
+			t.p.Store64(leaf+ctnTag, ctLeaf)
+			t.p.Store64(leaf+ctnA, key)
+			t.p.Store64(leaf+ctnB, value)
+			if !faultIs(t.fault, "ctree-skip-add-root") {
+				if err := a.add(t.root, 16); err != nil {
+					return err
+				}
+			}
+			t.p.Store64(t.root+wrTreeRoot, leaf)
+			t.p.Store64(t.root+wrCount, 1)
+			inserted = true
+			return nil
+		}
+		near := t.descendToLeaf(key)
+		nearKey := t.p.Load64(near + ctnA)
+		if nearKey == key { // update in place
+			if !faultIs(t.fault, "ctree-skip-add-update") {
+				if err := a.add(near, ctnSize); err != nil {
+					return err
+				}
+			}
+			t.p.Store64(near+ctnB, value)
+			return nil
+		}
+		diff := uint64(63 - bits.LeadingZeros64(nearKey^key))
+		leaf, err := tx.Alloc(ctnSize)
+		if err != nil {
+			return err
+		}
+		t.p.Store64(leaf+ctnTag, ctLeaf)
+		t.p.Store64(leaf+ctnA, key)
+		t.p.Store64(leaf+ctnB, value)
+		internal, err := tx.Alloc(ctnSize)
+		if err != nil {
+			return err
+		}
+		t.p.Store64(internal+ctnTag, ctInternal)
+		t.p.Store64(internal+ctnA, diff)
+
+		// Find the link where the new internal node belongs: the first
+		// node (from the root) that is a leaf or tests a lower bit.
+		parent := uint64(0) // 0 = the root pointer itself
+		node := rootNode
+		for t.p.Load64(node+ctnTag) == ctInternal && t.p.Load64(node+ctnA) > diff {
+			parent = node
+			if key&(1<<t.p.Load64(node+ctnA)) == 0 {
+				node = t.p.Load64(node + ctnB)
+			} else {
+				node = t.p.Load64(node + ctnC)
+			}
+		}
+		if key&(1<<diff) == 0 {
+			t.p.Store64(internal+ctnB, leaf)
+			t.p.Store64(internal+ctnC, node)
+		} else {
+			t.p.Store64(internal+ctnB, node)
+			t.p.Store64(internal+ctnC, leaf)
+		}
+		if parent == 0 {
+			if !faultIs(t.fault, "ctree-skip-add-root") {
+				if err := a.add(t.root, 16); err != nil {
+					return err
+				}
+			}
+			t.p.Store64(t.root+wrTreeRoot, internal)
+		} else {
+			if !faultIs(t.fault, "ctree-skip-add-link") {
+				if err := a.add(parent, ctnSize); err != nil {
+					return err
+				}
+			}
+			if key&(1<<t.p.Load64(parent+ctnA)) == 0 {
+				t.p.Store64(parent+ctnB, internal)
+			} else {
+				t.p.Store64(parent+ctnC, internal)
+			}
+		}
+		if !faultIs(t.fault, "ctree-skip-add-count") {
+			if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+		}
+		t.p.Store64(t.root+wrCount, t.p.Load64(t.root+wrCount)+1)
+		inserted = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if inserted {
+		t.bumpCached(1)
+	}
+	if faultIs(t.fault, "ctree-extra-flush") {
+		// BUG (performance): the commit already persisted everything.
+		t.p.Persist(t.root, 16)
+	}
+	return nil
+}
+
+// Get looks key up.
+func (t *CTree) Get(key uint64) (uint64, bool, error) {
+	if t.p.Load64(t.root+wrTreeRoot) == 0 {
+		return 0, false, nil
+	}
+	leaf := t.descendToLeaf(key)
+	if t.p.Load64(leaf+ctnA) == key {
+		return t.p.Load64(leaf + ctnB), true, nil
+	}
+	return 0, false, nil
+}
+
+// Remove deletes key if present, collapsing its parent internal node.
+func (t *CTree) Remove(key uint64) error {
+	removed := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		rootNode := t.p.Load64(t.root + wrTreeRoot)
+		if rootNode == 0 {
+			return nil
+		}
+		// Descend remembering parent and grandparent links.
+		var gparent, parent uint64
+		node := rootNode
+		for t.p.Load64(node+ctnTag) == ctInternal {
+			gparent = parent
+			parent = node
+			if key&(1<<t.p.Load64(node+ctnA)) == 0 {
+				node = t.p.Load64(node + ctnB)
+			} else {
+				node = t.p.Load64(node + ctnC)
+			}
+		}
+		if t.p.Load64(node+ctnA) != key {
+			return nil
+		}
+		removed = true
+		switch {
+		case parent == 0:
+			// The leaf is the whole tree.
+			if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+			t.p.Store64(t.root+wrTreeRoot, 0)
+		default:
+			// Replace the parent with the leaf's sibling.
+			var sibling uint64
+			if t.p.Load64(parent+ctnB) == node {
+				sibling = t.p.Load64(parent + ctnC)
+			} else {
+				sibling = t.p.Load64(parent + ctnB)
+			}
+			if gparent == 0 {
+				if err := a.add(t.root, 16); err != nil {
+					return err
+				}
+				t.p.Store64(t.root+wrTreeRoot, sibling)
+			} else {
+				if !faultIs(t.fault, "ctree-skip-add-remove-link") {
+					if err := a.add(gparent, ctnSize); err != nil {
+						return err
+					}
+				}
+				if t.p.Load64(gparent+ctnB) == parent {
+					t.p.Store64(gparent+ctnB, sibling)
+				} else {
+					t.p.Store64(gparent+ctnC, sibling)
+				}
+			}
+			if err := tx.Free(parent); err != nil {
+				return err
+			}
+		}
+		if err := tx.Free(node); err != nil {
+			return err
+		}
+		if !faultIs(t.fault, "ctree-skip-add-count") {
+			if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+		}
+		t.p.Store64(t.root+wrCount, t.p.Load64(t.root+wrCount)-1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		t.bumpCached(-1)
+	}
+	return nil
+}
+
+// Count returns the transactional key count.
+func (t *CTree) Count() (uint64, error) {
+	return t.p.Load64(t.root + wrCount), nil
+}
+
+// Verify checks the radix invariant (each leaf is reachable along links
+// consistent with its key bits), key uniqueness and both counters.
+func (t *CTree) Verify() error {
+	count := uint64(0)
+	seen := map[uint64]bool{}
+	var walk func(node uint64, depthBit int64) error
+	walk = func(node uint64, parentBit int64) error {
+		if node == 0 {
+			return nil
+		}
+		switch t.p.Load64(node + ctnTag) {
+		case ctLeaf:
+			k := t.p.Load64(node + ctnA)
+			if seen[k] {
+				return fmt.Errorf("ctree: duplicate key %#x", k)
+			}
+			seen[k] = true
+			t.p.Load64(node + ctnB)
+			count++
+			return nil
+		case ctInternal:
+			bit := int64(t.p.Load64(node + ctnA))
+			if bit >= parentBit {
+				return fmt.Errorf("ctree: bit order violated: %d under %d", bit, parentBit)
+			}
+			if err := walk(t.p.Load64(node+ctnB), bit); err != nil {
+				return err
+			}
+			return walk(t.p.Load64(node+ctnC), bit)
+		default:
+			return fmt.Errorf("ctree: bad tag at 0x%x", node)
+		}
+	}
+	if err := walk(t.p.Load64(t.root+wrTreeRoot), 64); err != nil {
+		return err
+	}
+	if c := t.p.Load64(t.root + wrCount); c != count {
+		return fmt.Errorf("ctree: count=%d but %d reachable leaves", c, count)
+	}
+	if cc := t.p.Load64(t.root + wrCachedCount); cc != count {
+		return fmt.Errorf("ctree: cachedCount=%d but %d reachable leaves", cc, count)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// AllMakers lists the five evaluated micro benchmarks of Table 4.
+func allMakers() []Maker {
+	return []Maker{BTreeMaker, CTreeMaker, RBTreeMaker, HashmapTXMaker, HashmapAtomicMaker}
+}
+
+// cleanCfg is the detection configuration used by the clean-run tests:
+// enough operations to exercise splits, rotations, rehashes, updates and
+// removals under failure injection.
+var cleanCfg = TargetConfig{InitSize: 6, TestSize: 5, Removes: 2, PostOps: true}
+
+// TestCleanWorkloadsUnderDetection is the reproduction's keystone: every
+// correct workload must survive every injected failure point with no
+// report of any class — no false positives.
+func TestCleanWorkloadsUnderDetection(t *testing.T) {
+	for _, m := range allMakers() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			res, err := core.Run(core.Config{PoolSize: 4 << 20}, DetectionTarget(m, cleanCfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("failure points=%d postRuns=%d preEntries=%d postEntries=%d benign=%d",
+				res.FailurePoints, res.PostRuns, res.PreEntries, res.PostEntries, res.BenignReads)
+			if len(res.Reports) != 0 {
+				t.Fatalf("clean %s produced reports:\n%s", m.Name, res)
+			}
+			if res.FailurePoints < 10 {
+				t.Errorf("suspiciously few failure points: %d", res.FailurePoints)
+			}
+		})
+	}
+}
+
+// TestCleanCreateUnderDetection runs creation itself under failure
+// injection (the configuration used for creation-time faults) and requires
+// it to be clean too.
+func TestCleanCreateUnderDetection(t *testing.T) {
+	for _, m := range allMakers() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			cfg := cleanCfg
+			cfg.FaultInCreate = true
+			res, err := core.Run(core.Config{PoolSize: 4 << 20}, DetectionTarget(m, cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Reports) != 0 {
+				t.Fatalf("clean %s (create in RoI) produced reports:\n%s", m.Name, res)
+			}
+		})
+	}
+}
+
+// TestCleanWorkloadsParallel re-runs the clean-workload check with the
+// parallelized detector (§6.2.1's future work): same verdict — no reports
+// — and the same failure-point count as the frontend is unchanged.
+func TestCleanWorkloadsParallel(t *testing.T) {
+	for _, m := range allMakers() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := core.Run(core.Config{PoolSize: 4 << 20, Workers: 4}, DetectionTarget(m, cleanCfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Reports) != 0 {
+				t.Fatalf("clean %s (parallel) produced reports:\n%s", m.Name, res)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import "github.com/pmemgo/xfdetector/internal/core"
+
+// Fault describes one synthetic bug of the validation suite (Table 5 of
+// the paper). Suite "pmtest" corresponds to the bug suite inherited from
+// PMTest; suite "additional" to the extra cross-failure bugs the paper
+// created (including the four cross-failure semantic bugs seeded on
+// Hashmap-Atomic, the only workload whose commit variables are managed by
+// hand rather than by the transactional library).
+type Fault struct {
+	// Name is the injectable fault identifier (TargetConfig.Fault).
+	Name string
+	// Workload is the Maker name the fault belongs to.
+	Workload string
+	// Class is the bug class XFDetector must report.
+	Class core.BugClass
+	// Suite is "pmtest" or "additional".
+	Suite string
+	// Description explains the seeded defect.
+	Description string
+}
+
+func f(name, workload string, class core.BugClass, suite, desc string) Fault {
+	return Fault{Name: name, Workload: workload, Class: class, Suite: suite, Description: desc}
+}
+
+// AllFaults returns the complete synthetic bug suite: per workload, the
+// Table 5 counts — B-Tree 8R+2P (+4R), C-Tree 5R+1P (+1R), RB-Tree 7R+1P
+// (+1R), Hashmap-TX 6R+1P (+3R), Hashmap-Atomic 10R+2P (+3R+4S).
+func AllFaults() []Fault {
+	const (
+		race = core.CrossFailureRace
+		sem  = core.CrossFailureSemantic
+		perf = core.Performance
+	)
+	return []Fault{
+		// B-Tree: 8 races + 2 performance (PMTest suite), 4 additional races.
+		f("btree-skip-add-leaf", "B-Tree", race, "pmtest", "leaf modified without TX_ADD"),
+		f("btree-skip-add-split-child", "B-Tree", race, "pmtest", "split child not TX_ADDed"),
+		f("btree-skip-add-split-parent", "B-Tree", race, "pmtest", "split parent not TX_ADDed"),
+		f("btree-skip-add-grow-root", "B-Tree", race, "pmtest", "root pointer updated without TX_ADD"),
+		f("btree-skip-add-count", "B-Tree", race, "pmtest", "count updated without TX_ADD"),
+		f("btree-skip-add-update", "B-Tree", race, "pmtest", "value update without TX_ADD"),
+		f("btree-skip-add-remove-leaf", "B-Tree", race, "pmtest", "leaf removal without TX_ADD"),
+		f("btree-skip-add-remove-internal", "B-Tree", race, "pmtest", "internal-key replacement without TX_ADD"),
+		f("btree-dup-add-leaf", "B-Tree", perf, "pmtest", "same node TX_ADDed twice"),
+		f("btree-extra-flush", "B-Tree", perf, "pmtest", "redundant writeback after commit"),
+		f("btree-naive-recovery", "B-Tree", race, "additional", "recovery trusts the raw-store cached count (Fig. 1 pattern)"),
+		f("btree-write-after-commit", "B-Tree", race, "additional", "node written after TX_END without writeback"),
+		f("btree-root-ptr-raw", "B-Tree", race, "additional", "root pointer updated with a raw store"),
+		f("btree-remove-count-raw", "B-Tree", race, "additional", "count decremented with a raw store"),
+
+		// C-Tree: 5 races + 1 performance, 1 additional race.
+		f("ctree-skip-add-link", "C-Tree", race, "pmtest", "parent link rewritten without TX_ADD"),
+		f("ctree-skip-add-root", "C-Tree", race, "pmtest", "root pointer updated without TX_ADD"),
+		f("ctree-skip-add-count", "C-Tree", race, "pmtest", "count updated without TX_ADD"),
+		f("ctree-skip-add-remove-link", "C-Tree", race, "pmtest", "grandparent link rewritten without TX_ADD on remove"),
+		f("ctree-skip-add-update", "C-Tree", race, "pmtest", "leaf value update without TX_ADD"),
+		f("ctree-extra-flush", "C-Tree", perf, "pmtest", "redundant writeback after commit"),
+		f("ctree-naive-recovery", "C-Tree", race, "additional", "recovery trusts the raw-store cached count"),
+
+		// RB-Tree: 7 races + 1 performance, 1 additional race.
+		f("rbt-skip-add-insert-link", "RB-Tree", race, "pmtest", "new node linked without TX_ADD"),
+		f("rbt-raw-link-touch", "RB-Tree", race, "pmtest", "rotation link re-applied with a raw store after TX_END"),
+		f("rbt-skip-add-color", "RB-Tree", race, "pmtest", "insert-fixup recolor without TX_ADD"),
+		f("rbt-skip-add-root", "RB-Tree", race, "pmtest", "root pointer updated without TX_ADD"),
+		f("rbt-skip-add-transplant", "RB-Tree", race, "pmtest", "transplant link without TX_ADD"),
+		f("rbt-raw-recolor", "RB-Tree", race, "pmtest", "fixup recolor re-applied with a raw store after TX_END"),
+		f("rbt-skip-add-count", "RB-Tree", race, "pmtest", "count updated without TX_ADD"),
+		f("rbt-extra-flush", "RB-Tree", perf, "pmtest", "redundant writeback after commit"),
+		f("rbt-naive-recovery", "RB-Tree", race, "additional", "recovery trusts the raw-store cached count"),
+
+		// Hashmap-TX: 6 races + 1 performance, 3 additional races.
+		f("hmtx-skip-add-slot", "Hashmap-TX", race, "pmtest", "bucket slot written without TX_ADD"),
+		f("hmtx-skip-add-count", "Hashmap-TX", race, "pmtest", "count updated without TX_ADD"),
+		f("hmtx-skip-add-update", "Hashmap-TX", race, "pmtest", "value update without TX_ADD"),
+		f("hmtx-skip-add-remove", "Hashmap-TX", race, "pmtest", "unlink without TX_ADD"),
+		f("hmtx-grow-root-raw", "Hashmap-TX", race, "pmtest", "directory pointer re-written with a raw store after the rehash commit"),
+		f("hmtx-skip-add-rehash-link", "Hashmap-TX", race, "pmtest", "entry relinked without TX_ADD during rehash"),
+		f("hmtx-extra-flush", "Hashmap-TX", perf, "pmtest", "redundant writeback after commit"),
+		f("hmtx-naive-recovery", "Hashmap-TX", race, "additional", "recovery trusts the raw-store cached count"),
+		f("hmtx-write-after-commit", "Hashmap-TX", race, "additional", "entry value written after TX_END"),
+		f("hmtx-entry-raw-init", "Hashmap-TX", race, "additional", "entry atomically allocated and initialized without writeback"),
+
+		// Hashmap-Atomic: 10 races + 2 performance, 3 additional races and
+		// 4 cross-failure semantic bugs.
+		f("hma-skip-entry-persist", "Hashmap-Atomic", race, "pmtest", "entry constructor does not persist the entry"),
+		f("hma-next-after-publish", "Hashmap-Atomic", race, "pmtest", "entry link re-written after the commit protocol, never written back"),
+		f("hma-skip-slot-persist", "Hashmap-Atomic", race, "pmtest", "bucket link not persisted"),
+		f("hma-skip-unlink-persist", "Hashmap-Atomic", race, "pmtest", "interior unlink not persisted"),
+		f("hma-skip-head-unlink-persist", "Hashmap-Atomic", race, "pmtest", "head unlink not persisted"),
+		f("hma-update-val-no-persist", "Hashmap-Atomic", race, "pmtest", "value update not persisted"),
+		f("hma-skip-count-persist", "Hashmap-Atomic", race, "pmtest", "count increment not persisted"),
+		f("hma-bug1-seed-no-persist", "Hashmap-Atomic", race, "pmtest", "paper Bug 1: hash metadata not persisted at creation"),
+		f("hma-bug2-count-uninit", "Hashmap-Atomic", race, "pmtest", "paper Bug 2: count never initialized after allocation"),
+		f("hma-val-after-publish", "Hashmap-Atomic", race, "pmtest", "value re-written after the commit protocol, never written back"),
+		f("hma-double-entry-persist", "Hashmap-Atomic", perf, "pmtest", "entry persisted twice"),
+		f("hma-redundant-slot-flush", "Hashmap-Atomic", perf, "pmtest", "bucket slot flushed twice"),
+		f("hma-skip-buckets-zero", "Hashmap-Atomic", race, "additional", "bucket directory not zeroed at creation"),
+		f("hma-link-before-construct", "Hashmap-Atomic", race, "additional", "object published before its construction is persisted"),
+		f("hma-recovery-skip-scrub", "Hashmap-Atomic", race, "additional", "recovery clears count_dirty without scrubbing (post-failure bug)"),
+		f("hma-sem-inverted-dirty", "Hashmap-Atomic", sem, "additional", "commit variable written with inverted values (Fig. 2 pattern)"),
+		f("hma-sem-count-before-dirty", "Hashmap-Atomic", sem, "additional", "count updated outside the commit window"),
+		f("hma-sem-dirty-clear-early", "Hashmap-Atomic", sem, "additional", "count and commit write persisted by the same barrier"),
+		f("hma-sem-dirty-set-with-count", "Hashmap-Atomic", sem, "additional", "commit write never persisted before being overwritten"),
+	}
+}
+
+// FaultsFor returns the faults seeded in one workload.
+func FaultsFor(workload string) []Fault {
+	var out []Fault
+	for _, fl := range AllFaults() {
+		if fl.Workload == workload {
+			out = append(out, fl)
+		}
+	}
+	return out
+}
+
+// MakerFor resolves a workload name ("B-Tree", ...) to its Maker.
+func MakerFor(name string) (Maker, bool) {
+	for _, m := range []Maker{BTreeMaker, CTreeMaker, RBTreeMaker, HashmapTXMaker, HashmapAtomicMaker} {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Maker{}, false
+}
+
+// Makers returns the five evaluated micro benchmarks in Table 4 order.
+func Makers() []Maker {
+	return []Maker{BTreeMaker, CTreeMaker, RBTreeMaker, HashmapTXMaker, HashmapAtomicMaker}
+}

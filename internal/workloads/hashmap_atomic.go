@@ -1,0 +1,430 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// HashmapAtomic is a persistent chained hash map built on low-level
+// primitives in the style of PMDK's hashmap_atomic example: no
+// transactions, every update made crash-consistent by ordering individual
+// persists, with a count_dirty commit variable guarding the element count —
+// the protocol of the paper's Fig. 14a and the host of its Bug 1 and Bug 2.
+//
+// The pmobj root (16 bytes) holds only the offset of the hashmap object,
+// which is allocated with the atomic allocator (as PMDK's example does) and
+// laid out across three cache lines so the commit variable and the count
+// it governs can be written back independently:
+//
+//	+0   nbuckets     +8  bucketsOff   +16 seed   +24 hashA   (line 0)
+//	+64  count                                                (line 1)
+//	+128 countDirty                                           (line 2)
+//
+// Insert protocol: countDirty=1 (persist) → construct entry (persist) →
+// link bucket (persist) → count++ (persist) → countDirty=0 (persist).
+// Recovery: if countDirty != 0, walk the buckets (an intentional, annotated
+// benign read of racy links), scrub every link by rewriting and persisting
+// the observed value, recompute count, and clear countDirty.
+type HashmapAtomic struct {
+	c     *core.Ctx
+	po    *pmobj.Pool
+	p     *pmem.Pool
+	hm    uint64 // offset of the hashmap object
+	fault string
+}
+
+const (
+	hmaNBuckets = 0
+	hmaDir      = 8
+	hmaSeed     = 16
+	hmaHashA    = 24
+	hmaCount    = 64
+	hmaDirty    = 128
+	hmaSize     = 136
+
+	hmaEntKey  = 0
+	hmaEntVal  = 8
+	hmaEntNext = 16
+	hmaEntSize = 32
+
+	hmaBuckets = 8
+)
+
+// HashmapAtomicMaker builds Hashmap-Atomic stores.
+var HashmapAtomicMaker = Maker{
+	Name:   "Hashmap-Atomic",
+	Create: createHashmapAtomic,
+	Open:   openHashmapAtomic,
+}
+
+func createHashmapAtomic(c *core.Ctx, fault string) (Store, error) {
+	po, err := pmobj.Create(c.Pool(), 16, nil)
+	if err != nil {
+		return nil, err
+	}
+	h := &HashmapAtomic{c: c, po: po, p: c.Pool(), fault: fault}
+	p := c.Pool()
+
+	// The root's hashmap pointer doubles as the creation commit variable:
+	// recovery reads it to decide whether the structure exists, so that
+	// read is an intentional benign cross-failure race.
+	c.AddCommitVar(po.Root(), 8)
+
+	// The bucket directory first: correct creation zeroes and persists it
+	// (the seeded bug leaves it uninitialized, as an allocator that does
+	// not zero would — the scenario behind the paper's Bug 2).
+	dir, err := po.AllocAtomic(hmaBuckets*8, func(off uint64) {
+		if faultIs(fault, "hma-skip-buckets-zero") {
+			return // BUG: trusts the allocator to have zeroed the memory
+		}
+		p.Memset(off, 0, hmaBuckets*8)
+		p.Persist(off, hmaBuckets*8)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	hm, err := po.AllocAtomic(hmaSize, func(off uint64) {
+		// Expose the crash-consistency semantics to the detector before
+		// the first write to the commit variable (Table 2 annotations —
+		// the only annotation the paper needed for this workload).
+		c.AddCommitRange(off+hmaDirty, 8, off+hmaCount, 8)
+		p.Store64(off+hmaNBuckets, hmaBuckets)
+		p.Store64(off+hmaDir, dir)
+		p.Store64(off+hmaSeed, 0x5EED5EED)
+		p.Store64(off+hmaHashA, 0x9E3779B97F4A7C15)
+		p.Store64(off+hmaCount, 0)
+		if faultIs(fault, "hma-bug1-seed-no-persist") {
+			// BUG 1 (paper Fig. 14a): the hash parameters are part of the
+			// metadata but are not persisted by the constructor.
+			p.Persist(off+hmaCount, 8)
+		} else if faultIs(fault, "hma-bug2-count-uninit") {
+			// BUG 2 (paper Fig. 14a): count is never initialized — the
+			// allocator happened to zero the memory, but that is not
+			// guaranteed.
+			p.Persist(off, 32)
+		} else {
+			p.CLWB(off, 32)
+			p.CLWB(off+hmaCount, 8)
+			p.SFence()
+		}
+		// The commit variable is initialized with its own barrier,
+		// ordered after the count it governs (Eq. 3).
+		p.Store64(off+hmaDirty, 0)
+		p.Persist(off+hmaDirty, 8)
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.hm = hm
+
+	// Publish the hashmap through the root. Correct code persists the
+	// object fully (done by the constructor) before linking it.
+	if faultIs(fault, "hma-link-before-construct") {
+		// BUG: the root pointer is persisted, but nothing ordered the
+		// object's construction before it; rewrite one field afterwards
+		// without a barrier to recreate the window.
+		p.Store64(po.Root(), hm)
+		p.Persist(po.Root(), 8)
+		p.Store64(hm+hmaSeed, 0x5EED5EED) // dangling unpersisted write
+	} else {
+		p.Store64(po.Root(), hm)
+		p.Persist(po.Root(), 8)
+	}
+	return h, nil
+}
+
+func openHashmapAtomic(c *core.Ctx, fault string) (Store, error) {
+	po, err := pmobj.Open(c.Pool())
+	if err != nil {
+		return nil, err
+	}
+	p := c.Pool()
+	h := &HashmapAtomic{c: c, po: po, p: p, fault: fault}
+	c.AddCommitVar(po.Root(), 8)
+	h.hm = p.Load64(po.Root())
+	if h.hm == 0 {
+		return nil, ErrNotInitialized
+	}
+	// Re-announce the commit variable (idempotent) so recovery reads of
+	// countDirty are benign.
+	c.AddCommitRange(h.hm+hmaDirty, 8, h.hm+hmaCount, 8)
+	if err := h.recover(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// recover re-establishes count consistency after a failure: if the commit
+// variable says an update was in flight, the bucket links are scrubbed
+// (read under a skip-detection annotation — the intentional benign race of
+// recovery — then rewritten and persisted) and the count is recomputed,
+// the Fig. 1 recover_alt pattern.
+func (h *HashmapAtomic) recover() error {
+	// Recovery uses the documented convention — 1 means in flight. The
+	// inverted-protocol fault writes the opposite values on the update
+	// side, so recovery then skips exactly the states that needed
+	// scrubbing (the Fig. 2 pattern: the writer, not the reader, is wrong).
+	if h.p.Load64(h.hm+hmaDirty) != 1 {
+		return nil
+	}
+	if faultIs(h.fault, "hma-recovery-skip-scrub") {
+		// BUG (post-failure stage): recovery clears the flag without
+		// re-establishing the links and count it guards.
+		h.p.Store64(h.hm+hmaDirty, 0)
+		h.p.Persist(h.hm+hmaDirty, 8)
+		return nil
+	}
+	p := h.p
+	dir := p.Load64(h.hm + hmaDir)
+	nb := p.Load64(h.hm + hmaNBuckets)
+	if nb == 0 || nb > 1<<20 {
+		return fmt.Errorf("hashmap-atomic: implausible bucket count %d", nb)
+	}
+	n := uint64(0)
+	for b := uint64(0); b < nb; b++ {
+		slot := dir + 8*b
+		h.c.SkipDetectionBegin(true, trace.BothStages)
+		e := p.Load64(slot)
+		h.c.SkipDetectionEnd(true, trace.BothStages)
+		p.Store64(slot, e) // scrub: commit the observed link
+		p.Persist(slot, 8)
+		for e != 0 {
+			n++
+			if n > 1<<22 {
+				return fmt.Errorf("hashmap-atomic: chain cycle suspected")
+			}
+			// Scrub the whole entry: an in-flight insert or update may
+			// have left any field not-guaranteed-persisted.
+			h.c.SkipDetectionBegin(true, trace.BothStages)
+			key := p.Load64(e + hmaEntKey)
+			val := p.Load64(e + hmaEntVal)
+			next := p.Load64(e + hmaEntNext)
+			h.c.SkipDetectionEnd(true, trace.BothStages)
+			p.Store64(e+hmaEntKey, key)
+			p.Store64(e+hmaEntVal, val)
+			p.Store64(e+hmaEntNext, next)
+			p.Persist(e, hmaEntSize)
+			e = next
+		}
+	}
+	p.Store64(h.hm+hmaCount, n)
+	p.Persist(h.hm+hmaCount, 8)
+	p.Store64(h.hm+hmaDirty, 0)
+	p.Persist(h.hm+hmaDirty, 8)
+	return nil
+}
+
+// dirtyValue returns the flag value the update side writes for "update in
+// flight". The inverted-protocol fault swaps the writer's values,
+// recreating the Fig. 2 bug (recovery keeps the documented convention).
+func (h *HashmapAtomic) dirtyValue() uint64 {
+	if faultIs(h.fault, "hma-sem-inverted-dirty") {
+		return 0 // BUG: the commit variable is written with inverted values
+	}
+	return 1
+}
+
+func (h *HashmapAtomic) bucket(key uint64) uint64 {
+	nb := h.p.Load64(h.hm + hmaNBuckets)
+	a := h.p.Load64(h.hm + hmaHashA)
+	seed := h.p.Load64(h.hm + hmaSeed)
+	x := key*a + seed
+	x ^= x >> 29
+	return x % nb
+}
+
+func (h *HashmapAtomic) setDirty(inFlight bool) {
+	v := h.dirtyValue()
+	if !inFlight {
+		v = 1 - v
+	}
+	h.p.Store64(h.hm+hmaDirty, v)
+}
+
+// Insert adds or updates a key using the count_dirty protocol.
+func (h *HashmapAtomic) Insert(key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("hashmap-atomic: zero key")
+	}
+	p := h.p
+	dir := p.Load64(h.hm + hmaDir)
+	slot := dir + 8*h.bucket(key)
+
+	// Update in place if present — still under the dirty window, so that
+	// a failure between the value store and its writeback is scrubbed.
+	for e := p.Load64(slot); e != 0; e = p.Load64(e + hmaEntNext) {
+		if p.Load64(e+hmaEntKey) == key {
+			h.setDirty(true)
+			p.Persist(h.hm+hmaDirty, 8)
+			p.Store64(e+hmaEntVal, value)
+			if !faultIs(h.fault, "hma-update-val-no-persist") {
+				p.Persist(e+hmaEntVal, 8)
+			}
+			h.setDirty(false)
+			p.Persist(h.hm+hmaDirty, 8)
+			return nil
+		}
+	}
+
+	if faultIs(h.fault, "hma-sem-count-before-dirty") {
+		// BUG (semantic): count is updated outside the commit window.
+		p.Store64(h.hm+hmaCount, p.Load64(h.hm+hmaCount)+1)
+		p.Persist(h.hm+hmaCount, 8)
+	}
+
+	h.setDirty(true)
+	if !faultIs(h.fault, "hma-sem-dirty-set-with-count") {
+		p.Persist(h.hm+hmaDirty, 8)
+	}
+
+	head := p.Load64(slot)
+	e, err := h.po.AllocAtomic(hmaEntSize, func(off uint64) {
+		p.Store64(off+hmaEntKey, key)
+		p.Store64(off+hmaEntVal, value)
+		p.Store64(off+hmaEntNext, head)
+		if !faultIs(h.fault, "hma-skip-entry-persist") {
+			p.Persist(off, hmaEntSize)
+		}
+		if faultIs(h.fault, "hma-double-entry-persist") {
+			// BUG (performance): the entry was just persisted above.
+			p.Persist(off, hmaEntSize)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	p.Store64(slot, e)
+	if !faultIs(h.fault, "hma-skip-slot-persist") {
+		p.Persist(slot, 8)
+	}
+	if faultIs(h.fault, "hma-redundant-slot-flush") {
+		// BUG (performance): the slot line is already persisted.
+		p.Persist(slot, 8)
+	}
+
+	if !faultIs(h.fault, "hma-sem-count-before-dirty") {
+		p.Store64(h.hm+hmaCount, p.Load64(h.hm+hmaCount)+1)
+		switch {
+		case faultIs(h.fault, "hma-sem-dirty-clear-early"):
+			// BUG (semantic): a single barrier persists the count and the
+			// commit write together, so neither is ordered before the
+			// other (the Fig. 11 F2 situation).
+			h.setDirty(false)
+			p.CLWB(h.hm+hmaCount, 8)
+			p.CLWB(h.hm+hmaDirty, 8)
+			p.SFence()
+			return nil
+		case faultIs(h.fault, "hma-skip-count-persist"):
+			// BUG: the count is never written back.
+		default:
+			p.Persist(h.hm+hmaCount, 8)
+		}
+	}
+	h.setDirty(false)
+	p.Persist(h.hm+hmaDirty, 8)
+	if faultIs(h.fault, "hma-val-after-publish") {
+		// BUG: the value is "touched up" after the commit protocol
+		// completed, with no writeback.
+		p.Store64(e+hmaEntVal, value)
+	}
+	if faultIs(h.fault, "hma-next-after-publish") {
+		// BUG: the link is re-written after the commit protocol completed,
+		// with no writeback.
+		p.Store64(e+hmaEntNext, head)
+	}
+	return nil
+}
+
+// Get looks key up.
+func (h *HashmapAtomic) Get(key uint64) (uint64, bool, error) {
+	p := h.p
+	dir := p.Load64(h.hm + hmaDir)
+	for e := p.Load64(dir + 8*h.bucket(key)); e != 0; e = p.Load64(e + hmaEntNext) {
+		if p.Load64(e+hmaEntKey) == key {
+			return p.Load64(e + hmaEntVal), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Remove deletes key if present, unlinking under the count_dirty protocol.
+func (h *HashmapAtomic) Remove(key uint64) error {
+	p := h.p
+	dir := p.Load64(h.hm + hmaDir)
+	slot := dir + 8*h.bucket(key)
+	prev := uint64(0)
+	e := p.Load64(slot)
+	for e != 0 && p.Load64(e+hmaEntKey) != key {
+		prev = e
+		e = p.Load64(e + hmaEntNext)
+	}
+	if e == 0 {
+		return nil
+	}
+	h.setDirty(true)
+	p.Persist(h.hm+hmaDirty, 8)
+
+	next := p.Load64(e + hmaEntNext)
+	if prev == 0 {
+		p.Store64(slot, next)
+		if !faultIs(h.fault, "hma-skip-head-unlink-persist") {
+			p.Persist(slot, 8)
+		}
+	} else {
+		p.Store64(prev+hmaEntNext, next)
+		if !faultIs(h.fault, "hma-skip-unlink-persist") {
+			p.Persist(prev+hmaEntNext, 8)
+		}
+	}
+
+	p.Store64(h.hm+hmaCount, p.Load64(h.hm+hmaCount)-1)
+	p.Persist(h.hm+hmaCount, 8)
+	h.setDirty(false)
+	p.Persist(h.hm+hmaDirty, 8)
+
+	return h.po.FreeAtomic(e)
+}
+
+// Count returns the guarded element count.
+func (h *HashmapAtomic) Count() (uint64, error) {
+	return h.p.Load64(h.hm + hmaCount), nil
+}
+
+// Verify checks bucket routing, uniqueness and the count.
+func (h *HashmapAtomic) Verify() error {
+	p := h.p
+	dir := p.Load64(h.hm + hmaDir)
+	nb := p.Load64(h.hm + hmaNBuckets)
+	if nb == 0 {
+		return fmt.Errorf("hashmap-atomic: no buckets")
+	}
+	seen := map[uint64]bool{}
+	n := uint64(0)
+	for b := uint64(0); b < nb; b++ {
+		for e := p.Load64(dir + 8*b); e != 0; e = p.Load64(e + hmaEntNext) {
+			k := p.Load64(e + hmaEntKey)
+			if seen[k] {
+				return fmt.Errorf("hashmap-atomic: duplicate key %#x", k)
+			}
+			seen[k] = true
+			if h.bucket(k) != b {
+				return fmt.Errorf("hashmap-atomic: key %#x in bucket %d, want %d", k, b, h.bucket(k))
+			}
+			p.Load64(e + hmaEntVal)
+			n++
+			if n > 1<<22 {
+				return fmt.Errorf("hashmap-atomic: chain cycle suspected")
+			}
+		}
+	}
+	if c := p.Load64(h.hm + hmaCount); c != n {
+		return fmt.Errorf("hashmap-atomic: count=%d but %d reachable entries", c, n)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// HashmapTX is a persistent chained hash map in the style of PMDK's
+// hashmap_tx example: a directory of bucket head pointers, chained entries,
+// transactional updates, and a transactional rehash that doubles the
+// directory when the load factor exceeds 2.
+//
+// Root object layout (128 bytes):
+//
+//	+0  dirOff       offset of the bucket directory (u64 slots)
+//	+8  nbuckets
+//	+16 count
+//	+64 cachedCount  raw-store duplicate, recomputed by recovery
+//
+// Entry layout (32 bytes): key | val | next | pad.
+type HashmapTX struct {
+	c     *core.Ctx
+	po    *pmobj.Pool
+	p     *pmem.Pool
+	root  uint64
+	fault string
+	// grewTo records a rehash inside the current insert, for the seeded
+	// post-commit raw-write bug.
+	grewTo uint64
+}
+
+const (
+	htxDir         = 0
+	htxNBuckets    = 8
+	htxCount       = 16
+	htxCachedCount = 64
+
+	htxEntKey  = 0
+	htxEntVal  = 8
+	htxEntNext = 16
+	htxEntSize = 32
+
+	htxInitialBuckets = 4
+)
+
+// HashmapTXMaker builds Hashmap-TX stores.
+var HashmapTXMaker = Maker{
+	Name: "Hashmap-TX",
+	Create: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Create(c.Pool(), wrRootSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		h := &HashmapTX{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}
+		err = po.Tx(func(tx *pmobj.Tx) error {
+			dir, err := tx.Alloc(htxInitialBuckets * 8)
+			if err != nil {
+				return err
+			}
+			if err := tx.Add(h.root, 24); err != nil {
+				return err
+			}
+			h.p.Store64(h.root+htxDir, dir)
+			h.p.Store64(h.root+htxNBuckets, htxInitialBuckets)
+			h.p.Store64(h.root+htxCount, 0)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	},
+	Open: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Open(c.Pool())
+		if err != nil {
+			return nil, err
+		}
+		h := &HashmapTX{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}
+		if h.p.Load64(h.root+htxDir) == 0 {
+			// A failure hit before the directory-creating transaction
+			// committed (recovery rolled it back): start over.
+			return nil, ErrNotInitialized
+		}
+		if err := h.recoverCachedCount(); err != nil {
+			return nil, err
+		}
+		return h, nil
+	},
+}
+
+func (h *HashmapTX) recoverCachedCount() error {
+	if faultIs(h.fault, "hmtx-naive-recovery") {
+		return nil // BUG: trusts the possibly non-persisted cached count
+	}
+	n, err := h.walkCount()
+	if err != nil {
+		return err
+	}
+	h.p.Store64(h.root+htxCachedCount, n)
+	h.p.Persist(h.root+htxCachedCount, 8)
+	return nil
+}
+
+func (h *HashmapTX) walkCount() (uint64, error) {
+	dir := h.p.Load64(h.root + htxDir)
+	nb := h.p.Load64(h.root + htxNBuckets)
+	if nb == 0 || nb > 1<<20 {
+		return 0, fmt.Errorf("hashmap-tx: implausible bucket count %d", nb)
+	}
+	n := uint64(0)
+	for b := uint64(0); b < nb; b++ {
+		for e := h.p.Load64(dir + 8*b); e != 0; e = h.p.Load64(e + htxEntNext) {
+			n++
+			if n > 1<<22 {
+				return 0, fmt.Errorf("hashmap-tx: chain cycle suspected")
+			}
+		}
+	}
+	return n, nil
+}
+
+func (h *HashmapTX) bumpCached(delta int64) {
+	v := h.p.Load64(h.root + htxCachedCount)
+	h.p.Store64(h.root+htxCachedCount, uint64(int64(v)+delta))
+	h.p.Persist(h.root+htxCachedCount, 8)
+}
+
+func (h *HashmapTX) bucket(key, nb uint64) uint64 {
+	x := key * 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x % nb
+}
+
+// Insert adds or updates a key, growing the directory at load factor 2.
+func (h *HashmapTX) Insert(key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("hashmap-tx: zero key")
+	}
+	inserted := false
+	var rawEntry uint64
+	if faultIs(h.fault, "hmtx-entry-raw-init") {
+		// BUG: the entry comes from the atomic allocator, outside the
+		// transaction, and its fields are initialized with raw stores
+		// that are never written back; only the link is transactional.
+		var err error
+		if rawEntry, err = h.po.AllocAtomic(htxEntSize, nil); err != nil {
+			return err
+		}
+	}
+	err := h.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		dir := h.p.Load64(h.root + htxDir)
+		nb := h.p.Load64(h.root + htxNBuckets)
+		slot := dir + 8*h.bucket(key, nb)
+		for e := h.p.Load64(slot); e != 0; e = h.p.Load64(e + htxEntNext) {
+			if h.p.Load64(e+htxEntKey) == key {
+				if !faultIs(h.fault, "hmtx-skip-add-update") {
+					if err := a.add(e, htxEntSize); err != nil {
+						return err
+					}
+				}
+				h.p.Store64(e+htxEntVal, value)
+				return nil
+			}
+		}
+		e := rawEntry
+		if e == 0 {
+			var err error
+			if e, err = tx.Alloc(htxEntSize); err != nil {
+				return err
+			}
+		}
+		h.p.Store64(e+htxEntKey, key)
+		h.p.Store64(e+htxEntVal, value)
+		h.p.Store64(e+htxEntNext, h.p.Load64(slot))
+		if !faultIs(h.fault, "hmtx-skip-add-slot") {
+			if err := a.add(slot, 8); err != nil {
+				return err
+			}
+		}
+		h.p.Store64(slot, e)
+		if !faultIs(h.fault, "hmtx-skip-add-count") {
+			if err := a.add(h.root, 24); err != nil {
+				return err
+			}
+		}
+		count := h.p.Load64(h.root+htxCount) + 1
+		h.p.Store64(h.root+htxCount, count)
+		inserted = true
+		if count > 2*nb {
+			return h.grow(a, tx, nb*2)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if inserted {
+		h.bumpCached(1)
+	}
+	if faultIs(h.fault, "hmtx-write-after-commit") {
+		// BUG: the value is "touched up" after TX_END with no writeback.
+		dir := h.p.Load64(h.root + htxDir)
+		nb := h.p.Load64(h.root + htxNBuckets)
+		if e := h.p.Load64(dir + 8*h.bucket(key, nb)); e != 0 {
+			h.p.Store64(e+htxEntVal, value)
+		}
+	}
+	if faultIs(h.fault, "hmtx-extra-flush") {
+		// BUG (performance): already persisted by the commit.
+		h.p.Persist(h.root, 24)
+	}
+	if h.grewTo != 0 {
+		if faultIs(h.fault, "hmtx-grow-root-raw") {
+			// BUG: the directory pointer is re-written with a raw store
+			// after the rehash transaction committed, with no writeback.
+			h.p.Store64(h.root+htxDir, h.grewTo)
+		}
+		h.grewTo = 0
+	}
+	return nil
+}
+
+// grow doubles the directory inside the caller's transaction, relinking
+// every entry into the new bucket array.
+func (h *HashmapTX) grow(a *adder, tx *pmobj.Tx, newNB uint64) error {
+	oldDir := h.p.Load64(h.root + htxDir)
+	oldNB := h.p.Load64(h.root + htxNBuckets)
+	newDir, err := tx.Alloc(newNB * 8)
+	if err != nil {
+		return err
+	}
+	for b := uint64(0); b < oldNB; b++ {
+		e := h.p.Load64(oldDir + 8*b)
+		for e != 0 {
+			next := h.p.Load64(e + htxEntNext)
+			newSlot := newDir + 8*h.bucket(h.p.Load64(e+htxEntKey), newNB)
+			if !faultIs(h.fault, "hmtx-skip-add-rehash-link") {
+				if err := a.add(e, htxEntSize); err != nil {
+					return err
+				}
+			}
+			h.p.Store64(e+htxEntNext, h.p.Load64(newSlot))
+			h.p.Store64(newSlot, e)
+			e = next
+		}
+	}
+	if err := a.add(h.root, 24); err != nil {
+		return err
+	}
+	h.p.Store64(h.root+htxDir, newDir)
+	h.p.Store64(h.root+htxNBuckets, newNB)
+	h.grewTo = newDir
+	return tx.Free(oldDir)
+}
+
+// Get looks key up.
+func (h *HashmapTX) Get(key uint64) (uint64, bool, error) {
+	dir := h.p.Load64(h.root + htxDir)
+	nb := h.p.Load64(h.root + htxNBuckets)
+	if nb == 0 {
+		return 0, false, fmt.Errorf("hashmap-tx: no buckets")
+	}
+	for e := h.p.Load64(dir + 8*h.bucket(key, nb)); e != 0; e = h.p.Load64(e + htxEntNext) {
+		if h.p.Load64(e+htxEntKey) == key {
+			return h.p.Load64(e + htxEntVal), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Remove deletes key if present.
+func (h *HashmapTX) Remove(key uint64) error {
+	removed := false
+	err := h.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		dir := h.p.Load64(h.root + htxDir)
+		nb := h.p.Load64(h.root + htxNBuckets)
+		slot := dir + 8*h.bucket(key, nb)
+		prev := uint64(0)
+		e := h.p.Load64(slot)
+		for e != 0 && h.p.Load64(e+htxEntKey) != key {
+			prev = e
+			e = h.p.Load64(e + htxEntNext)
+		}
+		if e == 0 {
+			return nil
+		}
+		removed = true
+		next := h.p.Load64(e + htxEntNext)
+		if prev == 0 {
+			if !faultIs(h.fault, "hmtx-skip-add-remove") {
+				if err := a.add(slot, 8); err != nil {
+					return err
+				}
+			}
+			h.p.Store64(slot, next)
+		} else {
+			if !faultIs(h.fault, "hmtx-skip-add-remove") {
+				if err := a.add(prev, htxEntSize); err != nil {
+					return err
+				}
+			}
+			h.p.Store64(prev+htxEntNext, next)
+		}
+		if err := tx.Free(e); err != nil {
+			return err
+		}
+		if !faultIs(h.fault, "hmtx-skip-add-count") {
+			if err := a.add(h.root, 24); err != nil {
+				return err
+			}
+		}
+		h.p.Store64(h.root+htxCount, h.p.Load64(h.root+htxCount)-1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		h.bumpCached(-1)
+	}
+	return nil
+}
+
+// Count returns the transactional key count.
+func (h *HashmapTX) Count() (uint64, error) {
+	return h.p.Load64(h.root + htxCount), nil
+}
+
+// Verify checks bucket routing, key uniqueness and both counters.
+func (h *HashmapTX) Verify() error {
+	dir := h.p.Load64(h.root + htxDir)
+	nb := h.p.Load64(h.root + htxNBuckets)
+	if nb == 0 {
+		return fmt.Errorf("hashmap-tx: no buckets")
+	}
+	seen := map[uint64]bool{}
+	n := uint64(0)
+	for b := uint64(0); b < nb; b++ {
+		for e := h.p.Load64(dir + 8*b); e != 0; e = h.p.Load64(e + htxEntNext) {
+			k := h.p.Load64(e + htxEntKey)
+			if seen[k] {
+				return fmt.Errorf("hashmap-tx: duplicate key %#x", k)
+			}
+			seen[k] = true
+			if h.bucket(k, nb) != b {
+				return fmt.Errorf("hashmap-tx: key %#x in bucket %d, want %d", k, b, h.bucket(k, nb))
+			}
+			h.p.Load64(e + htxEntVal)
+			n++
+			if n > 1<<22 {
+				return fmt.Errorf("hashmap-tx: chain cycle suspected")
+			}
+		}
+	}
+	if c := h.p.Load64(h.root + htxCount); c != n {
+		return fmt.Errorf("hashmap-tx: count=%d but %d reachable entries", c, n)
+	}
+	if cc := h.p.Load64(h.root + htxCachedCount); cc != n {
+		return fmt.Errorf("hashmap-tx: cachedCount=%d but %d reachable entries", cc, n)
+	}
+	return nil
+}

@@ -1,0 +1,676 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// RBTree is a persistent red-black tree in the style of PMDK's rbtree
+// example: full CLRS insertion and deletion with rotations and fixups, all
+// node mutations undo-logged.
+//
+// Root object layout (128 bytes): as the other trees (treeRoot, count,
+// cachedCount). Node layout (48 bytes):
+//
+//	+0  key   +8 val   +16 left   +24 right   +32 parent   +40 color
+//
+// Offset 0 is nil and is black by definition.
+type RBTree struct {
+	c     *core.Ctx
+	po    *pmobj.Pool
+	p     *pmem.Pool
+	root  uint64
+	fault string
+}
+
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbColor  = 40
+	rbSize   = 48
+
+	rbBlack = 0
+	rbRed   = 1
+)
+
+// RBTreeMaker builds RB-Tree stores.
+var RBTreeMaker = Maker{
+	Name: "RB-Tree",
+	Create: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Create(c.Pool(), wrRootSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &RBTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}, nil
+	},
+	Open: func(c *core.Ctx, fault string) (Store, error) {
+		po, err := pmobj.Open(c.Pool())
+		if err != nil {
+			return nil, err
+		}
+		t := &RBTree{c: c, po: po, p: c.Pool(), root: po.Root(), fault: fault}
+		if err := t.recoverCachedCount(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	},
+}
+
+func (t *RBTree) recoverCachedCount() error {
+	if faultIs(t.fault, "rbt-naive-recovery") {
+		return nil // BUG: trusts the possibly non-persisted cached count
+	}
+	n := t.walkCount(t.p.Load64(t.root + wrTreeRoot))
+	t.p.Store64(t.root+wrCachedCount, n)
+	t.p.Persist(t.root+wrCachedCount, 8)
+	return nil
+}
+
+func (t *RBTree) walkCount(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return 1 + t.walkCount(t.left(n)) + t.walkCount(t.right(n))
+}
+
+func (t *RBTree) bumpCached(delta int64) {
+	v := t.p.Load64(t.root + wrCachedCount)
+	t.p.Store64(t.root+wrCachedCount, uint64(int64(v)+delta))
+	t.p.Persist(t.root+wrCachedCount, 8)
+}
+
+func (t *RBTree) key(n uint64) uint64    { return t.p.Load64(n + rbKey) }
+func (t *RBTree) left(n uint64) uint64   { return t.p.Load64(n + rbLeft) }
+func (t *RBTree) right(n uint64) uint64  { return t.p.Load64(n + rbRight) }
+func (t *RBTree) parent(n uint64) uint64 { return t.p.Load64(n + rbParent) }
+
+func (t *RBTree) color(n uint64) uint64 {
+	if n == 0 {
+		return rbBlack
+	}
+	return t.p.Load64(n + rbColor)
+}
+
+func (t *RBTree) treeRoot() uint64 { return t.p.Load64(t.root + wrTreeRoot) }
+
+func (t *RBTree) setTreeRoot(a *adder, n uint64) error {
+	if !faultIs(t.fault, "rbt-skip-add-root") {
+		if err := a.add(t.root, 16); err != nil {
+			return err
+		}
+	}
+	t.p.Store64(t.root+wrTreeRoot, n)
+	return nil
+}
+
+// set writes one field of a node under undo protection.
+func (t *RBTree) set(a *adder, n, field, v uint64) error {
+	if err := a.add(n, rbSize); err != nil {
+		return err
+	}
+	t.p.Store64(n+field, v)
+	return nil
+}
+
+// setColorAt recolors n; the two fault parameters select the seeded
+// skip-add sites in the insert and delete fixups.
+func (t *RBTree) setColorAt(a *adder, n, color uint64, skip bool) error {
+	if !skip {
+		if err := a.add(n, rbSize); err != nil {
+			return err
+		}
+	}
+	t.p.Store64(n+rbColor, color)
+	return nil
+}
+
+func (t *RBTree) rotateLeft(a *adder, x uint64) error {
+	y := t.right(x)
+	if err := a.add(x, rbSize); err != nil {
+		return err
+	}
+	if err := a.add(y, rbSize); err != nil {
+		return err
+	}
+	yl := t.left(y)
+	t.p.Store64(x+rbRight, yl)
+	if yl != 0 {
+		if err := t.set(a, yl, rbParent, x); err != nil {
+			return err
+		}
+	}
+	xp := t.parent(x)
+	t.p.Store64(y+rbParent, xp)
+	if xp == 0 {
+		if err := t.setTreeRoot(a, y); err != nil {
+			return err
+		}
+	} else if t.left(xp) == x {
+		if err := t.set(a, xp, rbLeft, y); err != nil {
+			return err
+		}
+	} else {
+		if err := t.set(a, xp, rbRight, y); err != nil {
+			return err
+		}
+	}
+	t.p.Store64(y+rbLeft, x)
+	t.p.Store64(x+rbParent, y)
+	return nil
+}
+
+func (t *RBTree) rotateRight(a *adder, x uint64) error {
+	y := t.left(x)
+	if err := a.add(x, rbSize); err != nil {
+		return err
+	}
+	if err := a.add(y, rbSize); err != nil {
+		return err
+	}
+	yr := t.right(y)
+	t.p.Store64(x+rbLeft, yr)
+	if yr != 0 {
+		if err := t.set(a, yr, rbParent, x); err != nil {
+			return err
+		}
+	}
+	xp := t.parent(x)
+	t.p.Store64(y+rbParent, xp)
+	if xp == 0 {
+		if err := t.setTreeRoot(a, y); err != nil {
+			return err
+		}
+	} else if t.left(xp) == x {
+		if err := t.set(a, xp, rbLeft, y); err != nil {
+			return err
+		}
+	} else {
+		if err := t.set(a, xp, rbRight, y); err != nil {
+			return err
+		}
+	}
+	t.p.Store64(y+rbRight, x)
+	t.p.Store64(x+rbParent, y)
+	return nil
+}
+
+// Insert adds or updates a key.
+func (t *RBTree) Insert(key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("rbtree: zero key")
+	}
+	inserted := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		var parent uint64
+		node := t.treeRoot()
+		for node != 0 {
+			parent = node
+			k := t.key(node)
+			switch {
+			case key == k:
+				if err := a.add(node, rbSize); err != nil {
+					return err
+				}
+				t.p.Store64(node+rbVal, value)
+				return nil
+			case key < k:
+				node = t.left(node)
+			default:
+				node = t.right(node)
+			}
+		}
+		z, err := tx.Alloc(rbSize)
+		if err != nil {
+			return err
+		}
+		t.p.Store64(z+rbKey, key)
+		t.p.Store64(z+rbVal, value)
+		t.p.Store64(z+rbParent, parent)
+		t.p.Store64(z+rbColor, rbRed)
+		if parent == 0 {
+			if err := t.setTreeRoot(a, z); err != nil {
+				return err
+			}
+		} else {
+			field := uint64(rbLeft)
+			if key > t.key(parent) {
+				field = rbRight
+			}
+			if faultIs(t.fault, "rbt-skip-add-insert-link") {
+				t.p.Store64(parent+field, z) // BUG: link without undo backup
+			} else if err := t.set(a, parent, field, z); err != nil {
+				return err
+			}
+		}
+		if err := t.insertFixup(a, z); err != nil {
+			return err
+		}
+		if !faultIs(t.fault, "rbt-skip-add-count") {
+			if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+		}
+		t.p.Store64(t.root+wrCount, t.p.Load64(t.root+wrCount)+1)
+		inserted = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if inserted {
+		t.bumpCached(1)
+	}
+	if faultIs(t.fault, "rbt-extra-flush") {
+		// BUG (performance): the commit already persisted the root object.
+		t.p.Persist(t.root, 16)
+	}
+	if faultIs(t.fault, "rbt-raw-link-touch") {
+		// BUG: a rotation link is re-applied with a raw store after
+		// TX_END, with no writeback (the value is unchanged, so only the
+		// persistence guarantee is lost).
+		if n := t.treeRoot(); n != 0 {
+			t.p.Store64(n+rbLeft, t.left(n))
+		}
+	}
+	return nil
+}
+
+func (t *RBTree) insertFixup(a *adder, z uint64) error {
+	skipColor := faultIs(t.fault, "rbt-skip-add-color")
+	for t.color(t.parent(z)) == rbRed {
+		zp := t.parent(z)
+		zpp := t.parent(zp)
+		if zp == t.left(zpp) {
+			u := t.right(zpp) // uncle
+			if t.color(u) == rbRed {
+				if err := t.setColorAt(a, zp, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, u, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, zpp, rbRed, skipColor); err != nil {
+					return err
+				}
+				z = zpp
+				continue
+			}
+			if z == t.right(zp) {
+				z = zp
+				if err := t.rotateLeft(a, z); err != nil {
+					return err
+				}
+				zp = t.parent(z)
+				zpp = t.parent(zp)
+			}
+			if err := t.setColorAt(a, zp, rbBlack, false); err != nil {
+				return err
+			}
+			if err := t.setColorAt(a, zpp, rbRed, false); err != nil {
+				return err
+			}
+			if err := t.rotateRight(a, zpp); err != nil {
+				return err
+			}
+		} else {
+			u := t.left(zpp)
+			if t.color(u) == rbRed {
+				if err := t.setColorAt(a, zp, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, u, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, zpp, rbRed, skipColor); err != nil {
+					return err
+				}
+				z = zpp
+				continue
+			}
+			if z == t.left(zp) {
+				z = zp
+				if err := t.rotateRight(a, z); err != nil {
+					return err
+				}
+				zp = t.parent(z)
+				zpp = t.parent(zp)
+			}
+			if err := t.setColorAt(a, zp, rbBlack, false); err != nil {
+				return err
+			}
+			if err := t.setColorAt(a, zpp, rbRed, false); err != nil {
+				return err
+			}
+			if err := t.rotateLeft(a, zpp); err != nil {
+				return err
+			}
+		}
+	}
+	r := t.treeRoot()
+	if t.color(r) != rbBlack {
+		return t.setColorAt(a, r, rbBlack, false)
+	}
+	return nil
+}
+
+// Get looks key up.
+func (t *RBTree) Get(key uint64) (uint64, bool, error) {
+	node := t.treeRoot()
+	for node != 0 {
+		k := t.key(node)
+		switch {
+		case key == k:
+			return t.p.Load64(node + rbVal), true, nil
+		case key < k:
+			node = t.left(node)
+		default:
+			node = t.right(node)
+		}
+	}
+	return 0, false, nil
+}
+
+// transplant replaces subtree u with subtree v (v may be 0).
+func (t *RBTree) transplant(a *adder, u, v uint64) error {
+	up := t.parent(u)
+	if up == 0 {
+		if err := t.setTreeRoot(a, v); err != nil {
+			return err
+		}
+	} else {
+		field := uint64(rbLeft)
+		if t.right(up) == u {
+			field = rbRight
+		}
+		if faultIs(t.fault, "rbt-skip-add-transplant") {
+			t.p.Store64(up+field, v) // BUG: link without undo backup
+		} else if err := t.set(a, up, field, v); err != nil {
+			return err
+		}
+	}
+	if v != 0 {
+		if err := t.set(a, v, rbParent, up); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes key if present (CLRS delete with explicit fixup parent
+// tracking, since nil is a real 0 offset here, not a sentinel node).
+func (t *RBTree) Remove(key uint64) error {
+	removed := false
+	err := t.po.Tx(func(tx *pmobj.Tx) error {
+		a := newAdder(tx)
+		z := t.treeRoot()
+		for z != 0 && t.key(z) != key {
+			if key < t.key(z) {
+				z = t.left(z)
+			} else {
+				z = t.right(z)
+			}
+		}
+		if z == 0 {
+			return nil
+		}
+		removed = true
+
+		y := z
+		yColor := t.color(y)
+		var x, xParent uint64
+		switch {
+		case t.left(z) == 0:
+			x, xParent = t.right(z), t.parent(z)
+			if err := t.transplant(a, z, x); err != nil {
+				return err
+			}
+		case t.right(z) == 0:
+			x, xParent = t.left(z), t.parent(z)
+			if err := t.transplant(a, z, x); err != nil {
+				return err
+			}
+		default:
+			y = t.right(z)
+			for t.left(y) != 0 {
+				y = t.left(y)
+			}
+			yColor = t.color(y)
+			x = t.right(y)
+			if t.parent(y) == z {
+				xParent = y
+				if x != 0 {
+					if err := t.set(a, x, rbParent, y); err != nil {
+						return err
+					}
+				}
+			} else {
+				xParent = t.parent(y)
+				if err := t.transplant(a, y, x); err != nil {
+					return err
+				}
+				if err := t.set(a, y, rbRight, t.right(z)); err != nil {
+					return err
+				}
+				if err := t.set(a, t.right(y), rbParent, y); err != nil {
+					return err
+				}
+			}
+			if err := t.transplant(a, z, y); err != nil {
+				return err
+			}
+			if err := t.set(a, y, rbLeft, t.left(z)); err != nil {
+				return err
+			}
+			if err := t.set(a, t.left(y), rbParent, y); err != nil {
+				return err
+			}
+			if err := t.set(a, y, rbColor, t.color(z)); err != nil {
+				return err
+			}
+		}
+		if yColor == rbBlack {
+			if err := t.deleteFixup(a, x, xParent); err != nil {
+				return err
+			}
+		}
+		if err := tx.Free(z); err != nil {
+			return err
+		}
+		if !faultIs(t.fault, "rbt-skip-add-count") {
+			if err := a.add(t.root, 16); err != nil {
+				return err
+			}
+		}
+		t.p.Store64(t.root+wrCount, t.p.Load64(t.root+wrCount)-1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if removed {
+		t.bumpCached(-1)
+		if faultIs(t.fault, "rbt-raw-recolor") {
+			// BUG: a fixup recolor is re-applied with a raw store after
+			// TX_END, with no writeback.
+			if n := t.treeRoot(); n != 0 {
+				t.p.Store64(n+rbColor, t.color(n))
+			}
+		}
+	}
+	return nil
+}
+
+func (t *RBTree) deleteFixup(a *adder, x, xParent uint64) error {
+	skip := false
+	for x != t.treeRoot() && t.color(x) == rbBlack {
+		if x == t.left(xParent) {
+			w := t.right(xParent)
+			if t.color(w) == rbRed {
+				if err := t.setColorAt(a, w, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, xParent, rbRed, false); err != nil {
+					return err
+				}
+				if err := t.rotateLeft(a, xParent); err != nil {
+					return err
+				}
+				w = t.right(xParent)
+			}
+			if t.color(t.left(w)) == rbBlack && t.color(t.right(w)) == rbBlack {
+				if err := t.setColorAt(a, w, rbRed, skip); err != nil {
+					return err
+				}
+				x, xParent = xParent, t.parent(xParent)
+				continue
+			}
+			if t.color(t.right(w)) == rbBlack {
+				if err := t.setColorAt(a, t.left(w), rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, w, rbRed, false); err != nil {
+					return err
+				}
+				if err := t.rotateRight(a, w); err != nil {
+					return err
+				}
+				w = t.right(xParent)
+			}
+			if err := t.setColorAt(a, w, t.color(xParent), false); err != nil {
+				return err
+			}
+			if err := t.setColorAt(a, xParent, rbBlack, false); err != nil {
+				return err
+			}
+			if r := t.right(w); r != 0 {
+				if err := t.setColorAt(a, r, rbBlack, false); err != nil {
+					return err
+				}
+			}
+			if err := t.rotateLeft(a, xParent); err != nil {
+				return err
+			}
+			x = t.treeRoot()
+		} else {
+			w := t.left(xParent)
+			if t.color(w) == rbRed {
+				if err := t.setColorAt(a, w, rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, xParent, rbRed, false); err != nil {
+					return err
+				}
+				if err := t.rotateRight(a, xParent); err != nil {
+					return err
+				}
+				w = t.left(xParent)
+			}
+			if t.color(t.left(w)) == rbBlack && t.color(t.right(w)) == rbBlack {
+				if err := t.setColorAt(a, w, rbRed, skip); err != nil {
+					return err
+				}
+				x, xParent = xParent, t.parent(xParent)
+				continue
+			}
+			if t.color(t.left(w)) == rbBlack {
+				if err := t.setColorAt(a, t.right(w), rbBlack, false); err != nil {
+					return err
+				}
+				if err := t.setColorAt(a, w, rbRed, false); err != nil {
+					return err
+				}
+				if err := t.rotateLeft(a, w); err != nil {
+					return err
+				}
+				w = t.left(xParent)
+			}
+			if err := t.setColorAt(a, w, t.color(xParent), false); err != nil {
+				return err
+			}
+			if err := t.setColorAt(a, xParent, rbBlack, false); err != nil {
+				return err
+			}
+			if l := t.left(w); l != 0 {
+				if err := t.setColorAt(a, l, rbBlack, false); err != nil {
+					return err
+				}
+			}
+			if err := t.rotateRight(a, xParent); err != nil {
+				return err
+			}
+			x = t.treeRoot()
+		}
+	}
+	if x != 0 && t.color(x) != rbBlack {
+		return t.setColorAt(a, x, rbBlack, false)
+	}
+	return nil
+}
+
+// Count returns the transactional key count.
+func (t *RBTree) Count() (uint64, error) {
+	return t.p.Load64(t.root + wrCount), nil
+}
+
+// Verify checks the binary-search-tree order, the red-black properties
+// (no red-red edge, equal black height), parent-pointer consistency and
+// both counters.
+func (t *RBTree) Verify() error {
+	count := uint64(0)
+	var lastKey uint64
+	var check func(n, parent uint64) (blackHeight int, err error)
+	check = func(n, parent uint64) (int, error) {
+		if n == 0 {
+			return 1, nil
+		}
+		if t.parent(n) != parent {
+			return 0, fmt.Errorf("rbtree: node %#x parent=%#x, want %#x", n, t.parent(n), parent)
+		}
+		if t.color(n) == rbRed && t.color(parent) == rbRed {
+			return 0, fmt.Errorf("rbtree: red-red edge at %#x", n)
+		}
+		lh, err := check(t.left(n), n)
+		if err != nil {
+			return 0, err
+		}
+		k := t.key(n)
+		if count > 0 && k <= lastKey {
+			return 0, fmt.Errorf("rbtree: order violated at key %#x", k)
+		}
+		lastKey = k
+		count++
+		t.p.Load64(n + rbVal)
+		rh, err := check(t.right(n), n)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("rbtree: black height mismatch at %#x: %d != %d", n, lh, rh)
+		}
+		if t.color(n) == rbBlack {
+			lh++
+		}
+		return lh, nil
+	}
+	r := t.treeRoot()
+	if r != 0 && t.color(r) != rbBlack {
+		return fmt.Errorf("rbtree: red root")
+	}
+	if _, err := check(r, 0); err != nil {
+		return err
+	}
+	if c := t.p.Load64(t.root + wrCount); c != count {
+		return fmt.Errorf("rbtree: count=%d but %d reachable nodes", c, count)
+	}
+	if cc := t.p.Load64(t.root + wrCachedCount); cc != count {
+		return fmt.Errorf("rbtree: cachedCount=%d but %d reachable nodes", cc, count)
+	}
+	return nil
+}

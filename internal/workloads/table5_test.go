@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// table5Cfg exercises every fault site: creation under injection, inserts
+// with splits/rotations/rehashes, updates and removals.
+var table5Cfg = TargetConfig{
+	InitSize:      10,
+	TestSize:      5,
+	Updates:       2,
+	Removes:       5,
+	PostOps:       true,
+	FaultInCreate: true,
+}
+
+// runFault runs one seeded bug under full detection.
+func runFault(t *testing.T, fl Fault) *core.Result {
+	t.Helper()
+	m, ok := MakerFor(fl.Workload)
+	if !ok {
+		t.Fatalf("unknown workload %q", fl.Workload)
+	}
+	cfg := table5Cfg
+	cfg.Fault = fl.Name
+	res, err := core.Run(core.Config{PoolSize: 4 << 20, MaxPostOps: 1 << 17}, DetectionTarget(m, cfg))
+	if err != nil {
+		t.Fatalf("fault %s: harness error: %v", fl.Name, err)
+	}
+	return res
+}
+
+// TestTable5Validation reproduces the paper's Table 5: every synthetic bug
+// of the suite must be detected with the expected class.
+func TestTable5Validation(t *testing.T) {
+	for _, fl := range AllFaults() {
+		fl := fl
+		t.Run(fl.Name, func(t *testing.T) {
+			t.Parallel()
+			res := runFault(t, fl)
+			if got := res.Count(fl.Class); got == 0 {
+				t.Errorf("fault %q (%s): expected a %s report, got:\n%s",
+					fl.Name, fl.Description, fl.Class, res)
+			}
+		})
+	}
+}
+
+// TestTable5Counts pins the Table 5 suite composition: per-workload counts
+// of seeded races, semantic bugs and performance bugs.
+func TestTable5Counts(t *testing.T) {
+	type counts struct{ r, s, p int }
+	want := map[string]counts{
+		"B-Tree":         {r: 12, s: 0, p: 2},
+		"C-Tree":         {r: 6, s: 0, p: 1},
+		"RB-Tree":        {r: 8, s: 0, p: 1},
+		"Hashmap-TX":     {r: 9, s: 0, p: 1},
+		"Hashmap-Atomic": {r: 13, s: 4, p: 2},
+	}
+	got := map[string]counts{}
+	for _, fl := range AllFaults() {
+		c := got[fl.Workload]
+		switch fl.Class {
+		case core.CrossFailureRace:
+			c.r++
+		case core.CrossFailureSemantic:
+			c.s++
+		case core.Performance:
+			c.p++
+		}
+		got[fl.Workload] = c
+	}
+	for w, wc := range want {
+		if got[w] != wc {
+			t.Errorf("%s: suite has %+v, want %+v", w, got[w], wc)
+		}
+	}
+	if len(AllFaults()) != 59 {
+		t.Errorf("suite size = %d, want 59 (48 R + 4 S + 7 P)", len(AllFaults()))
+	}
+}
+
+// TestFaultNamesUnique guards the registry against typos.
+func TestFaultNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, fl := range AllFaults() {
+		if seen[fl.Name] {
+			t.Errorf("duplicate fault name %q", fl.Name)
+		}
+		seen[fl.Name] = true
+		if _, ok := MakerFor(fl.Workload); !ok {
+			t.Errorf("fault %q references unknown workload %q", fl.Name, fl.Workload)
+		}
+		if fl.Suite != "pmtest" && fl.Suite != "additional" {
+			t.Errorf("fault %q has unknown suite %q", fl.Name, fl.Suite)
+		}
+	}
+}

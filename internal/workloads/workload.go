@@ -1,0 +1,181 @@
+// Package workloads implements the PM programs of the paper's evaluation
+// (Table 4): the five PMDK-example-style micro benchmarks — B-Tree, C-Tree,
+// RB-Tree, Hashmap-TX and Hashmap-Atomic — on top of the pmobj substrate,
+// each with initialization, insert/remove/get, recovery and an invariant
+// checker.
+//
+// Every workload carries a registry of named, individually injectable
+// synthetic bugs reproducing the validation suite of Table 5 (cross-failure
+// races, cross-failure semantic bugs, and performance bugs). A fault name
+// is threaded through the Maker; the workload code consults it at the
+// specific site the bug lives at.
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmobj"
+)
+
+// ErrNotInitialized indicates the pool exists but the workload's structure
+// was never (completely) created — a well-defined state when a failure
+// interrupts creation: the program starts over.
+var ErrNotInitialized = errors.New("workloads: structure not initialized")
+
+// Store is the uniform key-value interface the harness drives. Keys and
+// values are non-zero uint64s.
+type Store interface {
+	// Insert adds or updates a key.
+	Insert(key, value uint64) error
+	// Remove deletes a key; removing an absent key is a no-op.
+	Remove(key uint64) error
+	// Get looks a key up.
+	Get(key uint64) (value uint64, ok bool, err error)
+	// Count returns the number of keys the structure believes it holds.
+	Count() (uint64, error)
+	// Verify walks the entire structure and checks its invariants,
+	// including that Count matches the number of reachable keys.
+	Verify() error
+}
+
+// Maker creates and opens one workload kind.
+type Maker struct {
+	// Name is the workload name as used in the paper ("B-Tree", ...).
+	Name string
+	// Create initializes the structure in the Ctx's fresh pool.
+	Create func(c *core.Ctx, fault string) (Store, error)
+	// Open opens an existing structure, running recovery. It is the
+	// post-failure (and resumed pre-failure) entry point.
+	Open func(c *core.Ctx, fault string) (Store, error)
+}
+
+// Key derives the i-th deterministic test key (Fibonacci hashing of the
+// index; never zero).
+func Key(i int) uint64 {
+	return uint64(i+1)*0x9E3779B97F4A7C15 | 1
+}
+
+// Value derives the value stored for key k.
+func Value(k uint64) uint64 { return k ^ 0xABCDEF }
+
+// TargetConfig parameterizes DetectionTarget.
+type TargetConfig struct {
+	// InitSize is the number of insertions performed while initializing
+	// the PM image, before failure injection starts (the artifact's
+	// INITSIZE).
+	InitSize int
+	// TestSize is the number of insertions performed in the pre-failure
+	// stage under failure injection (TESTSIZE).
+	TestSize int
+	// Removes optionally removes this many of the init keys during the
+	// pre-failure stage, exercising delete paths.
+	Removes int
+	// Updates optionally re-inserts this many existing keys with new
+	// values during the pre-failure stage, exercising update paths.
+	Updates int
+	// Fault names the synthetic bug to inject ("" = correct program).
+	Fault string
+	// FaultInCreate moves structure creation from Setup into the
+	// pre-failure stage so creation-time bugs see failure injection.
+	FaultInCreate bool
+	// PostOps controls the resumption work after recovery: one Get, one
+	// Insert and a full Verify when true (the default used by the
+	// harness); when false the post stage only opens and verifies.
+	PostOps bool
+}
+
+// DetectionTarget assembles a core.Target that initializes the workload,
+// runs cfg.TestSize insertions (and cfg.Removes removals) as the
+// pre-failure stage, and recovers + verifies + resumes as the post-failure
+// stage — the experiment setup of §6.1.
+func DetectionTarget(m Maker, cfg TargetConfig) core.Target {
+	doCreate := func(c *core.Ctx) error {
+		st, err := m.Create(c, cfg.Fault)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.InitSize; i++ {
+			if err := st.Insert(Key(i), Value(Key(i))); err != nil {
+				return fmt.Errorf("%s: init insert %d: %w", m.Name, i, err)
+			}
+		}
+		return nil
+	}
+	mutate := func(c *core.Ctx) error {
+		st, err := m.Open(c, cfg.Fault)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cfg.TestSize; i++ {
+			k := Key(cfg.InitSize + i)
+			if err := st.Insert(k, Value(k)); err != nil {
+				return fmt.Errorf("%s: insert %d: %w", m.Name, i, err)
+			}
+		}
+		for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
+			k := Key(i)
+			if err := st.Insert(k, Value(k)+uint64(i)+7); err != nil {
+				return fmt.Errorf("%s: update %d: %w", m.Name, i, err)
+			}
+		}
+		for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
+			if err := st.Remove(Key(i)); err != nil {
+				return fmt.Errorf("%s: remove %d: %w", m.Name, i, err)
+			}
+		}
+		return nil
+	}
+
+	t := core.Target{Name: m.Name}
+	if cfg.FaultInCreate {
+		// Creation-time bugs need failure points during creation.
+		t.Pre = func(c *core.Ctx) error {
+			if err := doCreate(c); err != nil {
+				return err
+			}
+			return mutate(c)
+		}
+	} else {
+		t.Setup = doCreate
+		t.Pre = mutate
+	}
+	t.Post = func(c *core.Ctx) error {
+		st, err := m.Open(c, cfg.Fault)
+		if errors.Is(err, pmobj.ErrNotAPool) || errors.Is(err, ErrNotInitialized) {
+			// The failure hit before creation committed: the program
+			// starts from scratch, which is a consistent outcome.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if cfg.PostOps {
+			// Resumption: the interrupted work is redone, exactly like the
+			// paper's "resume the previously preempted execution".
+			k := Key(cfg.InitSize + cfg.TestSize)
+			if _, _, err := st.Get(Key(0)); err != nil {
+				return err
+			}
+			if err := st.Insert(k, Value(k)); err != nil {
+				return err
+			}
+		}
+		return st.Verify()
+	}
+	return t
+}
+
+// stats is the raw-store statistics block embedded in each workload's root
+// object: fields maintained with low-level stores + persist barriers
+// outside any transaction (several Table 5 races live in the omission of
+// those barriers). Offsets are relative to the stats base.
+const (
+	statOps     = 0 // total mutations
+	statLastKey = 8 // last key touched
+	statsSize   = 16
+)
+
+// faultIs reports whether the configured fault matches name.
+func faultIs(fault, name string) bool { return fault == name }

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// exercise drives a Maker through a deterministic mixed workload (inserts,
+// updates, removals, lookups) without any detection, comparing against a
+// volatile reference map and verifying invariants along the way.
+func exercise(t *testing.T, m Maker, ops int) {
+	t.Helper()
+	target := core.Target{
+		Name: m.Name + "-functional",
+		Pre: func(c *core.Ctx) error {
+			st, err := m.Create(c, "")
+			if err != nil {
+				return err
+			}
+			ref := map[uint64]uint64{}
+			rng := uint64(0x12345678)
+			next := func(n uint64) uint64 {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return (rng >> 33) % n
+			}
+			keyOf := func(i uint64) uint64 { return Key(int(i)) }
+			for i := 0; i < ops; i++ {
+				switch next(10) {
+				case 0, 1, 2, 3, 4: // insert / update
+					k := keyOf(next(64))
+					v := next(1<<30) + 1
+					if err := st.Insert(k, v); err != nil {
+						return fmt.Errorf("op %d insert %#x: %w", i, k, err)
+					}
+					ref[k] = v
+				case 5, 6: // remove (possibly absent)
+					k := keyOf(next(64))
+					if err := st.Remove(k); err != nil {
+						return fmt.Errorf("op %d remove %#x: %w", i, k, err)
+					}
+					delete(ref, k)
+				default: // lookup
+					k := keyOf(next(64))
+					v, ok, err := st.Get(k)
+					if err != nil {
+						return fmt.Errorf("op %d get %#x: %w", i, k, err)
+					}
+					want, wantOK := ref[k]
+					if ok != wantOK || (ok && v != want) {
+						return fmt.Errorf("op %d get %#x = (%d,%v), want (%d,%v)", i, k, v, ok, want, wantOK)
+					}
+				}
+				if i%25 == 24 {
+					if err := st.Verify(); err != nil {
+						return fmt.Errorf("op %d verify: %w", i, err)
+					}
+					n, err := st.Count()
+					if err != nil {
+						return err
+					}
+					if n != uint64(len(ref)) {
+						return fmt.Errorf("op %d count=%d want %d", i, n, len(ref))
+					}
+				}
+			}
+			// Final: every reference key present with the right value.
+			keys := make([]uint64, 0, len(ref))
+			for k := range ref {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				v, ok, err := st.Get(k)
+				if err != nil {
+					return err
+				}
+				if !ok || v != ref[k] {
+					return fmt.Errorf("final get %#x = (%d,%v), want (%d,true)", k, v, ok, ref[k])
+				}
+			}
+			return st.Verify()
+		},
+	}
+	if _, err := core.Run(core.Config{Mode: core.ModeOriginal, PoolSize: 4 << 20}, target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reopen drives persistence across open: insert, reopen, check.
+func reopen(t *testing.T, m Maker) {
+	t.Helper()
+	target := core.Target{
+		Name: m.Name + "-reopen",
+		Pre: func(c *core.Ctx) error {
+			st, err := m.Create(c, "")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 20; i++ {
+				if err := st.Insert(Key(i), Value(Key(i))); err != nil {
+					return err
+				}
+			}
+			st2, err := m.Open(c, "")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 20; i++ {
+				v, ok, err := st2.Get(Key(i))
+				if err != nil {
+					return err
+				}
+				if !ok || v != Value(Key(i)) {
+					return fmt.Errorf("after reopen: key %d = (%d,%v)", i, v, ok)
+				}
+			}
+			n, err := st2.Count()
+			if err != nil {
+				return err
+			}
+			if n != 20 {
+				return fmt.Errorf("after reopen: count=%d", n)
+			}
+			return st2.Verify()
+		},
+	}
+	if _, err := core.Run(core.Config{Mode: core.ModeOriginal, PoolSize: 4 << 20}, target); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeFunctional(t *testing.T) { exercise(t, BTreeMaker, 600) }
+func TestBTreeReopen(t *testing.T)     { reopen(t, BTreeMaker) }
+
+func TestCTreeFunctional(t *testing.T)  { exercise(t, CTreeMaker, 600) }
+func TestCTreeReopen(t *testing.T)      { reopen(t, CTreeMaker) }
+func TestRBTreeFunctional(t *testing.T) { exercise(t, RBTreeMaker, 600) }
+func TestRBTreeReopen(t *testing.T)     { reopen(t, RBTreeMaker) }
+
+func TestHashmapTXFunctional(t *testing.T)     { exercise(t, HashmapTXMaker, 600) }
+func TestHashmapTXReopen(t *testing.T)         { reopen(t, HashmapTXMaker) }
+func TestHashmapAtomicFunctional(t *testing.T) { exercise(t, HashmapAtomicMaker, 600) }
+func TestHashmapAtomicReopen(t *testing.T)     { reopen(t, HashmapAtomicMaker) }

@@ -1,0 +1,99 @@
+// Package xfd is the public API of this XFDetector reproduction — a tool
+// that detects cross-failure bugs in persistent-memory (PM) programs by
+// injecting failures into the pre-failure execution and checking the
+// post-failure continuation against a shadow PM, as described in
+// "Cross-Failure Bug Detection in Persistent Memory Programs"
+// (Liu et al., ASPLOS 2020).
+//
+// # Model
+//
+// A program under test is a Target with up to three stages:
+//
+//   - Setup initializes the PM image (not failure-injected);
+//   - Pre is the pre-failure execution: XFDetector injects a failure point
+//     before every ordering point (CLWB;SFENCE and library equivalents);
+//   - Post is the post-failure execution (recovery plus resumption), run
+//     once per failure point on a copy of the PM image.
+//
+// Each stage receives a Ctx giving access to the simulated PM pool
+// (Ctx.Pool: loads, stores, CLWB, SFENCE, persist barriers) and the
+// annotation interface of the paper's Table 2 (regions of interest, commit
+// variables, skip regions, manual failure points).
+//
+// Run returns a Result whose Reports classify every detected bug:
+//
+//   - CrossFailureRace — the post-failure stage read data modified
+//     pre-failure whose persistence was not guaranteed;
+//   - CrossFailureSemantic — it read persisted data that is semantically
+//     inconsistent under the registered commit variables (Eq. 3);
+//   - Performance — redundant writebacks or duplicated TX_ADDs;
+//   - PostFailureFault — the recovery itself crashed or failed.
+//
+// # Quickstart
+//
+//	res, err := xfd.Run(xfd.Config{}, xfd.Target{
+//	    Name: "counter",
+//	    Pre: func(c *xfd.Ctx) error {
+//	        p := c.Pool()
+//	        p.Store64(0x00, 42) // BUG: never persisted
+//	        p.Store64(0x40, 1)
+//	        p.Persist(0x40, 8)
+//	        return nil
+//	    },
+//	    Post: func(c *xfd.Ctx) error {
+//	        c.Pool().Load64(0x00) // cross-failure race
+//	        return nil
+//	    },
+//	})
+//
+// Programs built on the bundled pmobj library (a PMDK-like transactional
+// persistent-object store, see internal/pmobj) get undo-log transactions,
+// a crash-consistent allocator and pool recovery; its events are
+// understood natively by the detector.
+package xfd
+
+import "github.com/pmemgo/xfdetector/internal/core"
+
+// Config parameterizes a detection run. The zero value detects with a
+// 1 MiB pool.
+type Config = core.Config
+
+// Target is a program under test.
+type Target = core.Target
+
+// Ctx is the per-stage handle: PM pool access plus the Table 2 annotation
+// interface.
+type Ctx = core.Ctx
+
+// Result is the outcome of a detection run.
+type Result = core.Result
+
+// Report is one detected bug.
+type Report = core.Report
+
+// BugClass classifies a Report.
+type BugClass = core.BugClass
+
+// Bug classes.
+const (
+	CrossFailureRace     = core.CrossFailureRace
+	CrossFailureSemantic = core.CrossFailureSemantic
+	Performance          = core.Performance
+	PostFailureFault     = core.PostFailureFault
+)
+
+// Mode selects what the harness does with the target (Fig. 12b's three
+// configurations).
+type Mode = core.Mode
+
+// Modes.
+const (
+	ModeDetect    = core.ModeDetect
+	ModeTraceOnly = core.ModeTraceOnly
+	ModeOriginal  = core.ModeOriginal
+)
+
+// Run executes one detection run of t under cfg. It returns an error only
+// for harness-level failures; bugs in the tested program are reported in
+// the Result.
+func Run(cfg Config, t Target) (*Result, error) { return core.Run(cfg, t) }

@@ -1,0 +1,98 @@
+package xfd_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	xfd "github.com/pmemgo/xfdetector"
+)
+
+// Example demonstrates the package-level quickstart: a write that is never
+// persisted is read by the recovery — a cross-failure race.
+func Example() {
+	res, err := xfd.Run(xfd.Config{}, xfd.Target{
+		Name: "counter",
+		Pre: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			p.Store64(0x00, 42) // BUG: never persisted
+			p.Store64(0x40, 1)
+			p.Persist(0x40, 8)
+			return nil
+		},
+		Post: func(c *xfd.Ctx) error {
+			c.Pool().Load64(0x00) // cross-failure race
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("races:", res.Count(xfd.CrossFailureRace))
+	// Output: races: 1
+}
+
+// TestFacade checks the re-exported API surface end to end, including the
+// parallel mode and the report accessors.
+func TestFacade(t *testing.T) {
+	target := xfd.Target{
+		Name: "facade",
+		Pre: func(c *xfd.Ctx) error {
+			p := c.Pool()
+			p.Store64(0, 7)
+			p.Persist(0, 8)
+			p.Store64(64, 9) // unpersisted
+			p.Store64(128, 1)
+			p.Persist(128, 8)
+			return nil
+		},
+		Post: func(c *xfd.Ctx) error {
+			c.Pool().Load64(64)
+			return nil
+		},
+	}
+	for _, workers := range []int{1, 3} {
+		res, err := xfd.Run(xfd.Config{Workers: workers}, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count(xfd.CrossFailureRace) != 1 {
+			t.Fatalf("workers=%d: races = %d, want 1", workers, res.Count(xfd.CrossFailureRace))
+		}
+		if res.Clean() {
+			t.Error("Clean() must be false with a race")
+		}
+		reps := res.ByClass(xfd.CrossFailureRace)
+		if len(reps) != 1 || !strings.Contains(reps[0].String(), "CROSS-FAILURE RACE") {
+			t.Errorf("report = %v", reps)
+		}
+		if !strings.Contains(res.String(), "1 bug(s) detected") {
+			t.Errorf("summary = %q", res.String())
+		}
+	}
+}
+
+// TestFacadeModes checks the three execution modes through the façade.
+func TestFacadeModes(t *testing.T) {
+	target := xfd.Target{
+		Name: "modes",
+		Pre: func(c *xfd.Ctx) error {
+			c.Pool().Store64(0, 1)
+			c.Pool().Persist(0, 8)
+			return nil
+		},
+	}
+	for _, m := range []xfd.Mode{xfd.ModeDetect, xfd.ModeTraceOnly, xfd.ModeOriginal} {
+		res, err := xfd.Run(xfd.Config{Mode: m}, target)
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		if m == xfd.ModeOriginal && res.PreEntries != 0 {
+			t.Errorf("original mode traced %d entries", res.PreEntries)
+		}
+		if m != xfd.ModeOriginal && res.PreEntries == 0 {
+			t.Errorf("mode %v traced nothing", m)
+		}
+	}
+}
