@@ -1,0 +1,117 @@
+// Command xfdfuzz is the standalone driver for the differential
+// crash-state fuzzer in internal/fuzzgen. It generates seed-driven PM
+// programs, runs each through every detector configuration (sequential,
+// parallel, elision disabled, trace-only, original), and compares every
+// run against the package's brute-force oracle.
+//
+//	xfdfuzz -n 1000                      1000 seeds per bug-class knob
+//	xfdfuzz -knob stale-commit -n 0      fuzz one knob until interrupted
+//	xfdfuzz -seed 7351 -n 1              replay one seed (reproducer line)
+//
+// On a mismatch the offending program is greedily minimized and written
+// as a JSON reproducer into the corpus directory, where the
+// TestCorpusReplay regression test picks it up; the exit status is 1.
+// Everything is deterministic in the explicit -seed: the same seed and
+// knob always generate the same program and the same verdicts.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/pmemgo/xfdetector/internal/fuzzgen"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 0, "first seed; each knob runs seeds [seed, seed+n)")
+		n         = flag.Int64("n", 200, "seeds per knob (0 = run until interrupted)")
+		knob      = flag.String("knob", "all", "bug-class knob to fuzz, or \"all\"")
+		corpusDir = flag.String("corpus", filepath.Join("internal", "fuzzgen", "corpus"),
+			"directory for minimized reproducers")
+		minimize  = flag.Bool("minimize", true, "minimize mismatching programs before writing them")
+		keepGoing = flag.Bool("keep-going", false, "report every mismatch instead of stopping at the first")
+		verbose   = flag.Bool("v", false, "log progress per 100 seeds")
+	)
+	flag.Parse()
+
+	knobs, err := selectKnobs(*knob)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	mismatches := 0
+	checked := int64(0)
+	for offset := int64(0); *n == 0 || offset < *n; offset++ {
+		for _, k := range knobs {
+			s := *seed + offset
+			err := fuzzgen.CheckSeed(s, k)
+			checked++
+			var m *fuzzgen.Mismatch
+			switch {
+			case err == nil:
+			case errors.As(err, &m):
+				mismatches++
+				fmt.Fprintln(os.Stderr, m.Error())
+				if path, werr := writeReproducer(*corpusDir, m.Program, *minimize); werr != nil {
+					fmt.Fprintf(os.Stderr, "xfdfuzz: writing reproducer: %v\n", werr)
+				} else {
+					fmt.Fprintf(os.Stderr, "xfdfuzz: reproducer written to %s\n", path)
+				}
+				if !*keepGoing {
+					os.Exit(1)
+				}
+			default:
+				fatalf("seed %d knob %s: %v", s, k, err)
+			}
+		}
+		if *verbose && (offset+1)%100 == 0 {
+			fmt.Fprintf(os.Stderr, "xfdfuzz: %d programs checked, %d mismatches\n", checked, mismatches)
+		}
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "xfdfuzz: %d mismatches in %d programs\n", mismatches, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("xfdfuzz: OK — %d programs across %d knob(s) agree with the oracle\n", checked, len(knobs))
+}
+
+func selectKnobs(name string) ([]fuzzgen.Knob, error) {
+	if name == "all" {
+		return fuzzgen.Knobs(), nil
+	}
+	for _, k := range fuzzgen.Knobs() {
+		if string(k) == name {
+			return []fuzzgen.Knob{k}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown knob %q (want \"all\" or one of %v)", name, fuzzgen.Knobs())
+}
+
+// writeReproducer minimizes the mismatching program (when asked) and
+// stores it as a corpus JSON file named after the program.
+func writeReproducer(dir string, p fuzzgen.Program, minimize bool) (string, error) {
+	if minimize {
+		p = fuzzgen.Minimize(p)
+	}
+	data, err := p.MarshalIndent()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, p.Name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xfdfuzz: "+format+"\n", args...)
+	os.Exit(1)
+}

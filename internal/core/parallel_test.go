@@ -123,3 +123,68 @@ func TestParallelKeepsTraceImplicitly(t *testing.T) {
 		t.Fatal("parallel run did not retain the pre-failure trace")
 	}
 }
+
+// TestParallelTracePrefixAliasing stresses the central memory-safety claim
+// of the parallel engine: each fpWork.entries slice aliases a stable,
+// already-written prefix of the shared pre-failure trace, so workers may
+// replay it without copying while the pre-failure thread keeps appending.
+// A long pre-failure stage (hundreds of ordering points over many cache
+// lines) maximizes the overlap between in-flight replays and ongoing
+// appends; `go test -race ./internal/core` turns any violation of the
+// prefix-stability argument into a hard failure, and the sequential
+// comparison pins the equivalence contract at the same time.
+func TestParallelTracePrefixAliasing(t *testing.T) {
+	const (
+		lines = 32
+		iters = 300
+	)
+	mk := func() Target {
+		return Target{
+			Name: "par-prefix-aliasing",
+			Pre: func(c *Ctx) error {
+				p := c.Pool()
+				for i := 0; i < iters; i++ {
+					addr := uint64(i%lines) * 64
+					p.Store64(addr, uint64(i))
+					p.Persist(addr, 8)
+				}
+				// One trailing unpersisted write so the post-failure
+				// classification has a race to find at every failure point.
+				p.Store64(uint64(lines)*64, 1)
+				return nil
+			},
+			Post: func(c *Ctx) error {
+				p := c.Pool()
+				for l := 0; l <= lines; l++ {
+					p.Load64(uint64(l) * 64)
+				}
+				return nil
+			},
+		}
+	}
+	seq, err := Run(Config{}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.FailurePoints != iters+1 {
+		t.Fatalf("sequential failure points = %d, want %d", seq.FailurePoints, iters+1)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Run(Config{Workers: workers}, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalKeys(sortedKeys(seq), sortedKeys(par)) {
+			t.Errorf("workers=%d: keys diverge from sequential:\nseq: %v\npar: %v",
+				workers, sortedKeys(seq), sortedKeys(par))
+		}
+		if par.FailurePoints != seq.FailurePoints || par.PostRuns != seq.PostRuns {
+			t.Errorf("workers=%d: failure points/post runs = %d/%d, want %d/%d",
+				workers, par.FailurePoints, par.PostRuns, seq.FailurePoints, seq.PostRuns)
+		}
+		if par.BenignReads != seq.BenignReads || par.PostEntries != seq.PostEntries {
+			t.Errorf("workers=%d: benign/post-entries = %d/%d, want %d/%d",
+				workers, par.BenignReads, par.PostEntries, seq.BenignReads, seq.PostEntries)
+		}
+	}
+}

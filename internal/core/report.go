@@ -81,12 +81,15 @@ type Report struct {
 	Message string
 }
 
-// key is the deduplication identity: the paper reports the file/line of the
-// reader and the last writer, so repeated observations of the same pair
-// collapse into one report.
-func (r Report) key() string {
+// DedupKey is the deduplication identity: the paper reports the file/line
+// of the reader and the last writer, so repeated observations of the same
+// pair collapse into one report. The differential tooling
+// (internal/fuzzgen, cmd/xfdfuzz) compares report sets by this key.
+func (r Report) DedupKey() string {
 	return fmt.Sprintf("%d|%s|%s|%d|%s", r.Class, r.ReaderIP, r.WriterIP, r.PerfKind, r.Message)
 }
+
+func (r Report) key() string { return r.DedupKey() }
 
 // String formats the report the way the artifact's debug output does.
 func (r Report) String() string {

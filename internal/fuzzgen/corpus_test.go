@@ -1,0 +1,50 @@
+package fuzzgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minCorpusFiles guards against the checked-in regression corpus being
+// accidentally emptied; the ISSUE calls for 8–10 edge-case programs.
+const minCorpusFiles = 8
+
+// TestCorpusReplay replays every checked-in corpus program through the
+// full differential check. Each file is a deterministic regression test
+// for a generator edge case or a past divergence written by cmd/xfdfuzz.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := os.ReadDir("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		n++
+		name := e.Name()
+		t.Run(strings.TrimSuffix(name, ".json"), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(filepath.Join("corpus", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ParseProgram(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if err := CheckProgram(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if n < minCorpusFiles {
+		t.Fatalf("corpus has only %d programs, want at least %d", n, minCorpusFiles)
+	}
+}

@@ -1,0 +1,218 @@
+package fuzzgen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// The differential driver: one program, every engine configuration, one
+// oracle verdict. Any disagreement is a Mismatch carrying a one-line
+// reproducer.
+
+// diffWorkers are the parallel widths every program is checked under.
+var diffWorkers = []int{2, 4}
+
+// Mismatch is a disagreement between the detector and the oracle (or
+// between two engine configurations). It is the fuzzer's bug report.
+type Mismatch struct {
+	Program Program
+	// Config names the engine configuration that disagreed.
+	Config string
+	// Field names the compared quantity (keys, failure-points, ...).
+	Field string
+	// Want is the oracle's prediction, Got the detector's output.
+	Want, Got string
+	// Repro is a one-line command reproducing the failure; empty for
+	// corpus-file programs (the file itself is the reproducer).
+	Repro string
+}
+
+// Error formats the mismatch with the full key sets, so a failing test log
+// alone identifies the divergence.
+func (m *Mismatch) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzzgen: %s: %s mismatch on %q\n  oracle: %s\n  engine: %s",
+		m.Config, m.Field, m.Program.Name, m.Want, m.Got)
+	if m.Repro != "" {
+		fmt.Fprintf(&b, "\n  reproduce: %s", m.Repro)
+	}
+	return b.String()
+}
+
+// CheckSeed generates the program for (seed, knob) and differentially
+// checks it. The returned error, if any, embeds the `xfdfuzz` reproducer
+// line for exactly this failure.
+func CheckSeed(seed int64, knob Knob) error {
+	p := Generate(seed, knob)
+	err := CheckProgram(p)
+	var m *Mismatch
+	if errors.As(err, &m) {
+		m.Repro = fmt.Sprintf("go run ./cmd/xfdfuzz -seed=%d -n=1 -knob=%s", seed, knob)
+	}
+	return err
+}
+
+// CheckProgram runs p through every engine configuration and compares each
+// against the oracle:
+//
+//   - ModeDetect sequential: full comparison (keys, failure points, post
+//     runs, benign bytes, trace-entry counts);
+//   - ModeDetect with Workers ∈ diffWorkers: same full comparison — the
+//     parallel engine promises the identical report set;
+//   - ModeDetect with failure-point elision disabled: full comparison
+//     against a second oracle evaluation with elision disabled;
+//   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
+//   - ModeOriginal: no tracing at all.
+//
+// A non-Mismatch error means the program (or harness) is broken, not the
+// detector; Minimize relies on that distinction.
+func CheckProgram(p Program) error {
+	want, err := Evaluate(p, EvalOpts{})
+	if err != nil {
+		return err
+	}
+	run := func(cfg core.Config) (*core.Result, error) {
+		cfg.PoolSize = p.PoolSize
+		res, err := core.Run(cfg, BuildTarget(p))
+		if err != nil {
+			return nil, fmt.Errorf("fuzzgen: %q: harness error: %w", p.Name, err)
+		}
+		return res, nil
+	}
+
+	seq, err := run(core.Config{})
+	if err != nil {
+		return err
+	}
+	if err := compareFull(p, "sequential", want, seq); err != nil {
+		return err
+	}
+	for _, w := range diffWorkers {
+		par, err := run(core.Config{Workers: w})
+		if err != nil {
+			return err
+		}
+		if err := compareFull(p, fmt.Sprintf("workers=%d", w), want, par); err != nil {
+			return err
+		}
+	}
+
+	wantNoElide, err := Evaluate(p, EvalOpts{DisableElision: true})
+	if err != nil {
+		return err
+	}
+	noElide, err := run(core.Config{DisableFailurePointElision: true})
+	if err != nil {
+		return err
+	}
+	if err := compareFull(p, "no-elision", wantNoElide, noElide); err != nil {
+		return err
+	}
+	if len(wantNoElide.Keys) != len(want.Keys) {
+		// Elision must never change the verdicts, only skip redundant
+		// failure points — a property of the oracle itself worth pinning.
+		return &Mismatch{Program: p, Config: "oracle", Field: "elision-invariance",
+			Want: strings.Join(want.Keys, " ; "), Got: strings.Join(wantNoElide.Keys, " ; ")}
+	}
+
+	traceOnly, err := run(core.Config{Mode: core.ModeTraceOnly})
+	if err != nil {
+		return err
+	}
+	if err := compare(p, "trace-only", "reports", "", joinKeys(traceOnly)); err != nil {
+		return err
+	}
+	if err := compare(p, "trace-only", "failure-points", "0", fmt.Sprint(traceOnly.FailurePoints)); err != nil {
+		return err
+	}
+	if err := compare(p, "trace-only", "pre-entries", fmt.Sprint(want.OpEntries), fmt.Sprint(traceOnly.PreEntries)); err != nil {
+		return err
+	}
+
+	orig, err := run(core.Config{Mode: core.ModeOriginal})
+	if err != nil {
+		return err
+	}
+	if err := compare(p, "original", "reports", "", joinKeys(orig)); err != nil {
+		return err
+	}
+	if err := compare(p, "original", "pre-entries", "0", fmt.Sprint(orig.PreEntries)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ResultKeys returns a result's sorted report deduplication keys.
+func ResultKeys(res *core.Result) []string {
+	keys := make([]string, 0, len(res.Reports))
+	for _, r := range res.Reports {
+		keys = append(keys, r.DedupKey())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func joinKeys(res *core.Result) string { return strings.Join(ResultKeys(res), " ; ") }
+
+func compare(p Program, config, field, want, got string) error {
+	if want == got {
+		return nil
+	}
+	return &Mismatch{Program: p, Config: config, Field: field, Want: want, Got: got}
+}
+
+func compareFull(p Program, config string, want *OracleResult, res *core.Result) error {
+	if err := compare(p, config, "keys", strings.Join(want.Keys, " ; "), joinKeys(res)); err != nil {
+		return err
+	}
+	if err := compare(p, config, "failure-points", fmt.Sprint(want.FailurePoints), fmt.Sprint(res.FailurePoints)); err != nil {
+		return err
+	}
+	if err := compare(p, config, "post-runs", fmt.Sprint(want.PostRuns), fmt.Sprint(res.PostRuns)); err != nil {
+		return err
+	}
+	if err := compare(p, config, "benign-bytes", fmt.Sprint(want.Benign), fmt.Sprint(res.BenignReads)); err != nil {
+		return err
+	}
+	if err := compare(p, config, "pre-entries", fmt.Sprint(want.PreEntries), fmt.Sprint(res.PreEntries)); err != nil {
+		return err
+	}
+	return compare(p, config, "post-entries", fmt.Sprint(want.PostEntries), fmt.Sprint(res.PostEntries))
+}
+
+// Minimize greedily shrinks a mismatching program while CheckProgram still
+// returns a Mismatch, deleting one op at a time to a fixpoint. Programs
+// whose shrunken form is invalid or merely harness-broken are rejected, so
+// minimization cannot wander away from genuine divergences.
+func Minimize(p Program) Program {
+	failing := func(cand Program) bool {
+		var m *Mismatch
+		return errors.As(CheckProgram(cand), &m)
+	}
+	if !failing(p) {
+		return p
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, stage := range []*[]Op{&p.Post, &p.Pre, &p.Setup} {
+			for i := len(*stage) - 1; i >= 0; i-- {
+				saved := *stage
+				cand := make([]Op, 0, len(saved)-1)
+				cand = append(cand, saved[:i]...)
+				cand = append(cand, saved[i+1:]...)
+				*stage = cand
+				if failing(p) {
+					improved = true
+					continue
+				}
+				*stage = saved
+			}
+		}
+	}
+	p.Name += "-min"
+	return p
+}

@@ -1,0 +1,217 @@
+package fuzzgen
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// TestDifferentialCampaign is the tentpole property test: for every
+// bug-class knob, hundreds of generated programs are run through every
+// engine configuration (sequential, Workers∈{2,4}, elision disabled,
+// trace-only, original) and each run must agree with the brute-force
+// oracle on the report-key set, failure-point count, post-run count,
+// benign-byte count, and trace-entry counts.
+//
+// Every failure prints a one-line `go run ./cmd/xfdfuzz -seed=N` line
+// that reproduces it deterministically.
+func TestDifferentialCampaign(t *testing.T) {
+	seeds := int64(500)
+	if testing.Short() {
+		seeds = 60
+	}
+	for _, knob := range Knobs() {
+		knob := knob
+		t.Run(string(knob), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seeds; seed++ {
+				if err := CheckSeed(seed, knob); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic pins the full-determinism requirement: the
+// same (seed, knob) pair must produce byte-identical programs, and the
+// knob must actually influence generation.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, knob := range Knobs() {
+		a, errA := Generate(7, knob).MarshalIndent()
+		b, errB := Generate(7, knob).MarshalIndent()
+		if errA != nil || errB != nil {
+			t.Fatalf("marshal: %v / %v", errA, errB)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("knob %s: same seed produced different programs", knob)
+		}
+	}
+	clean, _ := Generate(7, KnobClean).MarshalIndent()
+	stale, _ := Generate(7, KnobStaleCommit).MarshalIndent()
+	if bytes.Equal(clean, stale) {
+		t.Fatal("different knobs produced identical programs for seed 7")
+	}
+}
+
+// TestProgramRoundTrip checks that generated programs survive a
+// JSON round trip unchanged — the property the corpus replay relies on.
+func TestProgramRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := Generate(seed, KnobMixed)
+		data, err := p.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseProgram(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		data2, err := q.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("seed %d: round trip changed the program", seed)
+		}
+	}
+}
+
+// handProgram runs a hand-written program through the sequential engine
+// after confirming oracle agreement, so the absolute assertions below
+// are simultaneously checked against both implementations.
+func handProgram(t *testing.T, p Program) *core.Result {
+	t.Helper()
+	if err := CheckProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Config{PoolSize: p.PoolSize}, BuildTarget(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExpectedVerdicts pins absolute verdicts for hand-analyzed
+// programs, guarding against the failure mode where the oracle and the
+// detector are both wrong in the same way.
+func TestExpectedVerdicts(t *testing.T) {
+	t.Run("clean-protocol", func(t *testing.T) {
+		// Data is persisted in setup; pre touches a disjoint line with a
+		// full flush+fence protocol; post reads only the setup data. No
+		// failure point can observe an unpersisted or inconsistent byte.
+		p := Program{
+			Name:     "hand-clean",
+			PoolSize: 4096,
+			Setup: []Op{
+				{Kind: OpStore, Addr: 0, Size: 8},
+				{Kind: OpCLWB, Addr: 0, Size: 8},
+				{Kind: OpFence},
+			},
+			Pre: []Op{
+				{Kind: OpStore, Addr: 64, Size: 8},
+				{Kind: OpCLWB, Addr: 64, Size: 8},
+				{Kind: OpFence},
+			},
+			Post: []Op{{Kind: OpLoad, Addr: 0, Size: 8}},
+		}
+		res := handProgram(t, p)
+		if len(res.Reports) != 0 {
+			t.Fatalf("expected no reports, got %v", res.Reports)
+		}
+		if res.FailurePoints != 2 { // one at the pre fence, one final
+			t.Fatalf("expected 2 failure points, got %d", res.FailurePoints)
+		}
+	})
+
+	t.Run("dropped-fence-race", func(t *testing.T) {
+		// The store is written back but never fenced: every failure point
+		// observes it short of Persisted, so the post read races.
+		p := Program{
+			Name:     "hand-dropped-fence",
+			PoolSize: 4096,
+			Pre: []Op{
+				{Kind: OpStore, Addr: 0, Size: 8},
+				{Kind: OpCLWB, Addr: 0, Size: 8},
+			},
+			Post: []Op{{Kind: OpLoad, Addr: 0, Size: 8}},
+		}
+		res := handProgram(t, p)
+		if res.Count(core.CrossFailureRace) != 1 {
+			t.Fatalf("expected exactly 1 race, got %v", res.Reports)
+		}
+		if res.Count(core.CrossFailureSemantic) != 0 {
+			t.Fatalf("unexpected semantic report: %v", res.Reports)
+		}
+	})
+
+	t.Run("same-fence-commit-semantic", func(t *testing.T) {
+		// Fig. 11 F2: data and commit variable become persistent at the
+		// same fence, so Eq. 3 flags the data as semantically inconsistent
+		// at the final failure point.
+		p := Program{
+			Name:     "hand-same-fence-commit",
+			PoolSize: 4096,
+			Setup: []Op{
+				{Kind: OpRegCommitVar, Addr: 0x280, Size: 8},
+				{Kind: OpRegCommitRange, Addr: 0x280, Size: 8, Addr2: 0x200, Size2: 8},
+			},
+			Pre: []Op{
+				{Kind: OpStore, Addr: 0x200, Size: 8},
+				{Kind: OpStore, Addr: 0x280, Size: 8},
+				{Kind: OpCLWB, Addr: 0x200, Size: 8},
+				{Kind: OpCLWB, Addr: 0x280, Size: 8},
+				{Kind: OpFence},
+			},
+			Post: []Op{{Kind: OpLoad, Addr: 0x200, Size: 8}},
+		}
+		res := handProgram(t, p)
+		if res.Count(core.CrossFailureSemantic) != 1 {
+			t.Fatalf("expected exactly 1 semantic bug, got %v", res.Reports)
+		}
+	})
+
+	t.Run("commit-var-read-benign", func(t *testing.T) {
+		// Reading the commit variable itself is the benign race of §3.1:
+		// counted, never reported.
+		p := Program{
+			Name:     "hand-benign-var-read",
+			PoolSize: 4096,
+			Setup: []Op{
+				{Kind: OpRegCommitVar, Addr: 0x280, Size: 8},
+			},
+			Pre: []Op{
+				{Kind: OpStore, Addr: 0x280, Size: 8},
+			},
+			Post: []Op{{Kind: OpLoad, Addr: 0x280, Size: 8}},
+		}
+		res := handProgram(t, p)
+		if len(res.Reports) != 0 {
+			t.Fatalf("expected no reports, got %v", res.Reports)
+		}
+		if res.BenignReads == 0 {
+			t.Fatal("expected benign commit-variable reads to be counted")
+		}
+	})
+
+	t.Run("redundant-flush-performance", func(t *testing.T) {
+		// Flushing a clean line is the RedundantFlush performance bug.
+		p := Program{
+			Name:     "hand-redundant-flush",
+			PoolSize: 4096,
+			Pre: []Op{
+				{Kind: OpStore, Addr: 0, Size: 8},
+				{Kind: OpCLWB, Addr: 0, Size: 8},
+				{Kind: OpFence},
+				{Kind: OpCLWB, Addr: 0, Size: 8},
+				{Kind: OpFence},
+			},
+			Post: []Op{{Kind: OpLoad, Addr: 0, Size: 8}},
+		}
+		res := handProgram(t, p)
+		if res.Count(core.Performance) != 1 {
+			t.Fatalf("expected exactly 1 performance bug, got %v", res.Reports)
+		}
+	})
+}

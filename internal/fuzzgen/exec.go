@@ -1,0 +1,64 @@
+package fuzzgen
+
+import (
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// opTraceKind maps program ops to the trace kinds they announce.
+var opTraceKind = [numOpKinds]trace.Kind{
+	OpStore:          trace.Write,
+	OpNTStore:        trace.NTStore,
+	OpCLWB:           trace.CLWB,
+	OpCLFlush:        trace.CLFlush,
+	OpFence:          trace.SFence,
+	OpLoad:           trace.Read,
+	OpTxBegin:        trace.TxBegin,
+	OpTxAdd:          trace.TxAdd,
+	OpTxCommit:       trace.TxCommit,
+	OpTxAbort:        trace.TxAbort,
+	OpRegCommitVar:   trace.RegCommitVar,
+	OpRegCommitRange: trace.RegCommitRange,
+}
+
+// BuildTarget compiles p into a runnable detection target.
+//
+// Memory ops are announced with explicit synthetic source locations
+// (OpIP), so each generated op has a stable per-op identity in report
+// deduplication — the analogue of distinct source lines. Fences go through
+// the pool's real SFence so the detector's fence hook (the failure
+// injector) fires exactly as it would for a real program. Generated
+// programs are straight-line and data-independent: no op inspects loaded
+// values, so the detector's verdicts depend only on the op sequence, which
+// is what lets the oracle predict them without executing data flow.
+func BuildTarget(p Program) core.Target {
+	stageFn := func(stage string, ops []Op) func(*core.Ctx) error {
+		return func(c *core.Ctx) error {
+			pool := c.Pool()
+			for i, op := range ops {
+				if op.Kind == OpFence {
+					pool.SFence()
+					continue
+				}
+				pool.AnnounceEntry(trace.Entry{
+					Kind:  opTraceKind[op.Kind],
+					Addr:  op.Addr,
+					Size:  op.Size,
+					Addr2: op.Addr2,
+					Size2: op.Size2,
+					IP:    OpIP(stage, i),
+				})
+			}
+			return nil
+		}
+	}
+	t := core.Target{
+		Name: p.Name,
+		Pre:  stageFn("pre", p.Pre),
+	}
+	if len(p.Setup) > 0 {
+		t.Setup = stageFn("setup", p.Setup)
+	}
+	t.Post = stageFn("post", p.Post)
+	return t
+}

@@ -1,0 +1,29 @@
+package fuzzgen
+
+import "testing"
+
+// FuzzDetector is the native fuzz entry point: the fuzzing engine
+// explores (seed, knob) pairs, each of which deterministically expands
+// into a generated PM program that must survive the full differential
+// check against the brute-force oracle.
+//
+// Run it with:
+//
+//	go test ./internal/fuzzgen -fuzz=FuzzDetector -fuzztime=30s
+//
+// Without -fuzz the registered seed corpus below replays as ordinary
+// deterministic tests.
+func FuzzDetector(f *testing.F) {
+	for i := range Knobs() {
+		f.Add(int64(1), uint8(i))
+		f.Add(int64(42+i), uint8(i))
+		f.Add(int64(1000+997*i), uint8(i))
+	}
+	knobs := Knobs()
+	f.Fuzz(func(t *testing.T, seed int64, knobIdx uint8) {
+		knob := knobs[int(knobIdx)%len(knobs)]
+		if err := CheckSeed(seed, knob); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

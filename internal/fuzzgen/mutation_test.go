@@ -1,0 +1,64 @@
+package fuzzgen
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/shadow"
+)
+
+// TestSoundnessMutationCaught proves the differential suite has teeth.
+// It seeds a deliberate soundness bug into internal/shadow — CLWB
+// treated as immediately persistent instead of waiting for the fence —
+// and requires the suite to catch it. If the oracle merely co-evolved
+// with the shadow FSM, this test would pass the mutant and fail here.
+//
+// Must not run in parallel with other tests: the mutation switch is a
+// package-level toggle in internal/shadow.
+func TestSoundnessMutationCaught(t *testing.T) {
+	const n = 40
+	// Sanity: the unmutated detector agrees with the oracle on every
+	// seed we are about to mutate against.
+	for seed := int64(0); seed < n; seed++ {
+		if err := CheckSeed(seed, KnobDroppedFence); err != nil {
+			t.Fatalf("pre-mutation sanity failed: %v", err)
+		}
+	}
+
+	shadow.SetUnsoundFlushForTest(true)
+	defer shadow.SetUnsoundFlushForTest(false)
+
+	caught := 0
+	var firstMiss *Mismatch
+	for seed := int64(0); seed < n; seed++ {
+		err := CheckSeed(seed, KnobDroppedFence)
+		var m *Mismatch
+		if errors.As(err, &m) {
+			caught++
+			if firstMiss == nil {
+				firstMiss = m
+			}
+		} else if err != nil {
+			t.Fatalf("seed %d: non-mismatch error under mutation: %v", seed, err)
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("seeded CLWB soundness mutation went undetected on all %d seeds", n)
+	}
+	t.Logf("seeded CLWB soundness mutation caught on %d/%d dropped-fence seeds", caught, n)
+
+	// The minimizer must shrink a genuine mismatch while keeping it a
+	// mismatch (exercised here because mutants are the only reliable
+	// source of failing programs in a passing tree).
+	big := firstMiss.Program
+	small := Minimize(big)
+	if got, want := opCount(small), opCount(big); got > want {
+		t.Fatalf("Minimize grew the program: %d ops -> %d ops", want, got)
+	}
+	var m *Mismatch
+	if err := CheckProgram(small); !errors.As(err, &m) {
+		t.Fatalf("minimized program no longer mismatches: %v", err)
+	}
+}
+
+func opCount(p Program) int { return len(p.Setup) + len(p.Pre) + len(p.Post) }

@@ -1,0 +1,531 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/shadow"
+)
+
+// The brute-force oracle.
+//
+// This file re-derives the detector's expected verdicts from the paper's
+// definitions alone, sharing no logic with internal/shadow (which it
+// exists to check — shadow is imported only for the PerfBugKind report
+// constants). The key difference is HOW a cross-failure race is decided:
+//
+// internal/shadow runs a per-byte persistence FSM and flags any read of a
+// byte whose state is not Persisted. The oracle instead enumerates, for
+// each byte a post-failure stage reads, every crash image reachable at the
+// failure point: a crash may cut off writebacks anywhere, so each subset
+// of the not-yet-guaranteed ("at-risk") stores to that byte may or may not
+// have reached the medium, subject to persist order — a store's value
+// survives iff the line was evicted after it, in which case every earlier
+// store to the byte is superseded. The byte's reachable values are thus
+// {max(S)} over the subsets S of at-risk stores (plus the persisted floor
+// for S = ∅). The read races exactly when this outcome set has more than
+// one element — the from-first-principles form of the paper's
+// ¬(Wx ≤p F) condition. The enumeration is exponential in the number of
+// at-risk stores per byte, which generated programs keep tiny.
+//
+// Everything else — epochs, Eq. 3 commit-variable consistency, undo-log
+// protection, performance bugs, failure-point elision — is reimplemented
+// independently from §3–§5 of the paper so that any disagreement between
+// the two codebases surfaces as a differential failure.
+
+// maxEnum caps the per-byte subset enumeration; beyond it the outcome set
+// trivially has >1 element (there is at least one at-risk store, and the
+// floor differs from it).
+const maxEnum = 14
+
+// EvalOpts parameterizes an oracle evaluation.
+type EvalOpts struct {
+	// DisableElision mirrors Config.DisableFailurePointElision: inject a
+	// failure point before every pre-failure fence, even when no PM
+	// operation happened since the previous one.
+	DisableElision bool
+}
+
+// OracleResult is the oracle's prediction of a ModeDetect core.Run.
+type OracleResult struct {
+	// Keys are the sorted report deduplication keys (core.Report.DedupKey)
+	// the run must produce — races, semantic bugs and performance bugs.
+	Keys []string
+	// FailurePoints and PostRuns predict the run's counters (equal, since
+	// generated targets always have a post-failure stage).
+	FailurePoints int
+	PostRuns      int
+	// Benign is the total benign commit-variable bytes read post-failure,
+	// summed over all failure points.
+	Benign uint64
+	// OpEntries counts the trace entries announced by the program's setup
+	// and pre ops alone; PreEntries adds one FailurePoint marker per
+	// injected failure point. PostEntries is ops-per-post-run times runs.
+	OpEntries   int
+	PreEntries  int
+	PostEntries int
+}
+
+// Evaluate predicts the outcome of running p under ModeDetect.
+func Evaluate(p Program, opts EvalOpts) (*OracleResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	o := newOracle(p, opts)
+	for i, op := range p.Setup {
+		if err := o.step("setup", i, op, false); err != nil {
+			return nil, err
+		}
+	}
+	for i, op := range p.Pre {
+		if err := o.step("pre", i, op, true); err != nil {
+			return nil, err
+		}
+	}
+	// The final failure point at the end of the RoI: injected whenever any
+	// PM operation ever ran, elided or not.
+	if o.opsEver > 0 {
+		if err := o.failurePoint(); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]string, 0, len(o.keys))
+	for k := range o.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &OracleResult{
+		Keys:          keys,
+		FailurePoints: o.fps,
+		PostRuns:      o.fps,
+		Benign:        o.benign,
+		OpEntries:     o.opEntries,
+		PreEntries:    o.opEntries + o.fps,
+		PostEntries:   o.fps * len(p.Post),
+	}, nil
+}
+
+// owrite is one commit write: the epochs of its store and its persist.
+type owrite struct{ w, p uint32 }
+
+// ovar is the oracle's commit-variable record (Eq. 3 state).
+type ovar struct {
+	addr, size uint64
+	last, prev owrite
+	n          int
+	pending    bool
+}
+
+type oassoc struct {
+	varIdx     int
+	addr, size uint64
+}
+
+// Per-byte persistence states, tracked only as the oracle's own
+// self-check against the enumeration (see raced).
+const (
+	oU = iota // never written
+	oM        // written, writeback not requested
+	oW        // writeback requested, not yet fenced
+	oP        // guaranteed persisted
+)
+
+type oracle struct {
+	p    Program
+	opts EvalOpts
+	size uint64
+
+	state        []uint8
+	writeEpoch   []uint32
+	persistEpoch []uint32
+	last         []int32   // ordinal of the last store to the byte; -1 none
+	floor        []int32   // ordinal of the last store guaranteed on-medium
+	atRisk       [][]int32 // stores after the floor, oldest first
+	storeIPs     []string  // ordinal → synthetic source location
+
+	txSafe      []bool
+	addedGen    []uint32
+	explicitGen []uint32
+	txDepth     int
+	txGen       uint32
+	curTx       []span
+
+	vars   []*ovar
+	assocs []oassoc
+
+	clock      uint32
+	opsSinceFP int
+	opsEver    int
+	fps        int
+	benign     uint64
+	opEntries  int
+	keys       map[string]struct{}
+}
+
+func newOracle(p Program, opts EvalOpts) *oracle {
+	n := p.PoolSize
+	o := &oracle{
+		p:            p,
+		opts:         opts,
+		size:         n,
+		state:        make([]uint8, n),
+		writeEpoch:   make([]uint32, n),
+		persistEpoch: make([]uint32, n),
+		last:         make([]int32, n),
+		floor:        make([]int32, n),
+		atRisk:       make([][]int32, n),
+		txSafe:       make([]bool, n),
+		addedGen:     make([]uint32, n),
+		explicitGen:  make([]uint32, n),
+		clock:        1,
+		keys:         map[string]struct{}{},
+	}
+	for b := range o.last {
+		o.last[b] = -1
+		o.floor[b] = -1
+	}
+	return o
+}
+
+func (o *oracle) addKey(r core.Report) { o.keys[r.DedupKey()] = struct{}{} }
+
+// step replays one op of the setup or pre stage. inject enables failure
+// points (the pre stage); setup is traced and counted but never failed.
+func (o *oracle) step(stage string, i int, op Op, inject bool) error {
+	o.opEntries++ // every op announces exactly one trace entry
+	ip := OpIP(stage, i)
+	switch op.Kind {
+	case OpFence:
+		if inject && (o.opsSinceFP > 0 || o.opts.DisableElision) {
+			// The failure point fires immediately BEFORE the fence takes
+			// effect: the state it tests is the unfenced one.
+			if err := o.failurePoint(); err != nil {
+				return err
+			}
+		}
+		o.fence()
+		return nil
+	case OpStore:
+		o.countOp()
+		o.store(i, op.Addr, op.Size, ip, false)
+	case OpNTStore:
+		o.countOp()
+		o.store(i, op.Addr, op.Size, ip, true)
+	case OpCLWB, OpCLFlush:
+		o.countOp()
+		o.flush(op.Addr, op.Size, ip)
+	case OpTxAdd:
+		o.countOp()
+		o.txAdd(op.Addr, op.Size, ip)
+	case OpTxBegin:
+		o.txDepth++
+		if o.txDepth == 1 {
+			o.txGen++
+		}
+	case OpTxCommit, OpTxAbort:
+		if o.txDepth > 0 {
+			o.txDepth--
+		}
+		if o.txDepth == 0 {
+			for _, r := range o.curTx {
+				for b := r.addr; b < r.addr+r.size; b++ {
+					o.txSafe[b] = false
+				}
+			}
+			o.curTx = o.curTx[:0]
+		}
+	case OpRegCommitVar:
+		o.registerVar(op.Addr, op.Size)
+	case OpRegCommitRange:
+		idx := o.registerVar(op.Addr, op.Size)
+		for _, a := range o.assocs {
+			if a.varIdx == idx && a.addr == op.Addr2 && a.size == op.Size2 {
+				return nil
+			}
+		}
+		o.assocs = append(o.assocs, oassoc{varIdx: idx, addr: op.Addr2, size: op.Size2})
+	case OpLoad:
+		// Pre-failure loads are traced but carry no persistence meaning.
+	}
+	return nil
+}
+
+// countOp tracks the §5.4 elision counters: only PM-state-changing ops
+// (stores, writebacks, TX_ADDs) make the next failure interval non-empty.
+func (o *oracle) countOp() {
+	o.opsSinceFP++
+	o.opsEver++
+}
+
+// ordinal returns the next store ordinal and records its source location.
+func (o *oracle) ordinal(ip string) int32 {
+	o.storeIPs = append(o.storeIPs, ip)
+	return int32(len(o.storeIPs) - 1)
+}
+
+func (o *oracle) store(opIdx int, addr, size uint64, ip string, nt bool) {
+	if size == 0 {
+		return
+	}
+	ord := o.ordinal(ip)
+	st := uint8(oM)
+	if nt {
+		st = oW
+	}
+	inTx := o.txDepth > 0
+	for b := addr; b < addr+size; b++ {
+		o.state[b] = st
+		o.writeEpoch[b] = o.clock
+		o.last[b] = ord
+		o.atRisk[b] = append(o.atRisk[b], ord)
+		if o.txSafe[b] && (!inTx || o.addedGen[b] != o.txGen) {
+			// Writing outside any transaction — or inside one that did not
+			// TX_ADD the byte — voids the undo-log protection.
+			o.txSafe[b] = false
+		}
+	}
+	o.noteCommitWrites(addr, addr+size)
+}
+
+func (o *oracle) flush(addr, size uint64, ip string) {
+	start := pmem.LineDown(addr)
+	limit := pmem.LineUp(addr + size)
+	if limit > o.size {
+		limit = o.size
+	}
+	useful := false
+	for b := start; b < limit; b++ {
+		if o.state[b] == oM {
+			o.state[b] = oW
+			useful = true
+		}
+	}
+	if !useful {
+		// A writeback that moves no byte out of Modified is the redundant
+		// writeback of Fig. 9's yellow edges.
+		o.addKey(core.Report{Class: core.Performance, ReaderIP: ip, PerfKind: shadow.RedundantFlush})
+	}
+}
+
+func (o *oracle) fence() {
+	for b := uint64(0); b < o.size; b++ {
+		if o.state[b] == oW {
+			o.state[b] = oP
+			o.persistEpoch[b] = o.clock
+			// The last store is now guaranteed on the medium; every older
+			// pending value for this byte is superseded for good.
+			o.floor[b] = o.last[b]
+			o.atRisk[b] = o.atRisk[b][:0]
+		}
+	}
+	for _, cv := range o.vars {
+		if !cv.pending {
+			continue
+		}
+		all := true
+		for b := cv.addr; b < cv.addr+cv.size && b < o.size; b++ {
+			if o.state[b] != oP {
+				all = false
+				break
+			}
+		}
+		if all {
+			cv.last.p = o.clock
+			cv.pending = false
+		}
+	}
+	o.clock++
+}
+
+func (o *oracle) txAdd(addr, size uint64, ip string) {
+	if size == 0 || o.txDepth == 0 {
+		// An empty or out-of-transaction TX_ADD protects nothing.
+		return
+	}
+	dup := true
+	for b := addr; b < addr+size; b++ {
+		if o.explicitGen[b] != o.txGen {
+			dup = false
+		}
+		o.addedGen[b] = o.txGen
+		o.explicitGen[b] = o.txGen
+		o.txSafe[b] = true
+	}
+	o.curTx = append(o.curTx, span{addr, size})
+	if dup {
+		o.addKey(core.Report{Class: core.Performance, ReaderIP: ip, PerfKind: shadow.DuplicateTxAdd})
+	}
+}
+
+func (o *oracle) registerVar(addr, size uint64) int {
+	for i, cv := range o.vars {
+		if cv.addr == addr && cv.size == size {
+			return i
+		}
+	}
+	o.vars = append(o.vars, &ovar{addr: addr, size: size})
+	return len(o.vars) - 1
+}
+
+func (o *oracle) noteCommitWrites(addr, end uint64) {
+	for _, cv := range o.vars {
+		if cv.addr >= end || addr >= cv.addr+cv.size {
+			continue
+		}
+		if cv.pending && cv.last.w == o.clock {
+			// Stores to the variable within one epoch persist atomically at
+			// the same fence; only the last value matters.
+			continue
+		}
+		cv.prev = cv.last
+		cv.last = owrite{w: o.clock}
+		cv.n++
+		cv.pending = true
+	}
+}
+
+func (o *oracle) inVar(b uint64) bool {
+	for _, cv := range o.vars {
+		if b >= cv.addr && b < cv.addr+cv.size {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *oracle) assocFor(b uint64) *ovar {
+	for _, a := range o.assocs {
+		if b >= a.addr && b < a.addr+a.size {
+			return o.vars[a.varIdx]
+		}
+	}
+	return nil
+}
+
+// raced decides by brute force whether reading byte b post-failure is a
+// cross-failure race: enumerate every persist-order-respecting subset of
+// the at-risk stores and collect the byte's reachable medium values. More
+// than one reachable value means the read is not determined — a race.
+//
+// The enumeration is cross-checked against the oracle's own persistence
+// FSM (raced ⇔ state ≠ Persisted for a written byte); a disagreement is an
+// oracle bug and fails the evaluation loudly rather than polluting the
+// differential verdict.
+func (o *oracle) raced(b uint64) (bool, error) {
+	ar := o.atRisk[b]
+	var enum bool
+	if len(ar) > maxEnum {
+		// Too many pending stores to enumerate — but any at-risk store
+		// already yields two reachable values (with and without it).
+		enum = true
+	} else {
+		outcomes := map[int32]struct{}{}
+		for mask := 0; mask < 1<<len(ar); mask++ {
+			eff := o.floor[b]
+			for i, ord := range ar {
+				if mask&(1<<i) != 0 && ord > eff {
+					eff = ord
+				}
+			}
+			outcomes[eff] = struct{}{}
+		}
+		enum = len(outcomes) > 1
+	}
+	fsm := o.state[b] != oP && o.state[b] != oU
+	if enum != fsm {
+		return false, fmt.Errorf("fuzzgen: oracle self-check failed at byte 0x%x: enumeration says raced=%v, FSM state %d disagrees", b, enum, o.state[b])
+	}
+	return enum, nil
+}
+
+// eq3Consistent is the oracle's independent Eq. 3 evaluation for a
+// persisted byte associated with commit variable cv: the byte must have
+// been last modified between the last two commit writes in persist order.
+func eq3Consistent(cv *ovar, writeEpoch, persistEpoch uint32) bool {
+	if cv.n == 0 {
+		// No commit write yet: the mechanism is not in play; persistence
+		// alone governs.
+		return true
+	}
+	// W[m] ≤p C[x,n]: the byte persisted strictly before the last commit
+	// write's store epoch.
+	if persistEpoch >= cv.last.w {
+		return false
+	}
+	if cv.n < 2 {
+		return true
+	}
+	if cv.prev.p == 0 {
+		// The previous commit write never persisted; it orders nothing.
+		return false
+	}
+	// C[x,n-1] ≤p W[m].
+	return cv.prev.p < writeEpoch
+}
+
+// failurePoint simulates one injected failure: the post-failure stage runs
+// on the crash image family frozen at this instant, and every load is
+// classified byte by byte.
+func (o *oracle) failurePoint() error {
+	o.fps++
+	o.opsSinceFP = 0
+	postWritten := map[uint64]bool{}
+	checked := map[uint64]bool{}
+	for i, op := range o.p.Post {
+		switch op.Kind {
+		case OpStore, OpNTStore:
+			// Post-failure writes overwrite the old data: the range is
+			// consistent for the rest of this post-failure run.
+			for b := op.Addr; b < op.Addr+op.Size; b++ {
+				postWritten[b] = true
+			}
+		case OpLoad:
+			ip := OpIP("post", i)
+			for b := op.Addr; b < op.Addr+op.Size; b++ {
+				if postWritten[b] || checked[b] {
+					continue
+				}
+				checked[b] = true
+				if err := o.classifyRead(b, ip); err != nil {
+					return err
+				}
+			}
+			// Other post ops (writebacks, fences, transaction markers,
+			// idempotent re-registrations) carry no checking semantics.
+		}
+	}
+	return nil
+}
+
+// classifyRead classifies one first-read of byte b in a post-failure run,
+// in the paper's §5.4 order: unmodified, commit variable (benign),
+// undo-log protected, then the race enumeration, then Eq. 3.
+func (o *oracle) classifyRead(b uint64, readerIP string) error {
+	if o.last[b] < 0 {
+		return nil // never written pre-failure: no cross-failure bug possible
+	}
+	if o.inVar(b) {
+		o.benign++
+		return nil
+	}
+	if o.txSafe[b] {
+		return nil
+	}
+	raced, err := o.raced(b)
+	if err != nil {
+		return err
+	}
+	writer := o.storeIPs[o.last[b]]
+	if raced {
+		o.addKey(core.Report{Class: core.CrossFailureRace, ReaderIP: readerIP, WriterIP: writer})
+		return nil
+	}
+	if cv := o.assocFor(b); cv != nil {
+		if !eq3Consistent(cv, o.writeEpoch[b], o.persistEpoch[b]) {
+			o.addKey(core.Report{Class: core.CrossFailureSemantic, ReaderIP: readerIP, WriterIP: writer})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package shadow
+
+// Soundness-mutation test hook.
+//
+// The fuzzgen differential suite validates this package against an
+// independent brute-force oracle. To prove the suite can actually catch a
+// soundness regression here — and does not merely co-evolve with whatever
+// this package computes — its mutation test flips this switch, which makes
+// applyFlush deliberately mis-model CLWB/CLFLUSH as immediately
+// persistent. That is the classic misunderstanding the Fig. 9 persistence
+// FSM exists to rule out: a writeback instruction alone guarantees nothing
+// until the next SFENCE. With the switch on, the differential suite must
+// report mismatches on dropped-fence programs; if it ever stops doing so,
+// the suite has lost its teeth.
+//
+// Production code must never set this; it exists solely for the mutation
+// test in internal/fuzzgen.
+var unsoundFlushForTest bool
+
+// SetUnsoundFlushForTest toggles the deliberate CLWB mis-model. Callers
+// must not toggle it while a detection run is in flight.
+func SetUnsoundFlushForTest(on bool) { unsoundFlushForTest = on }

@@ -305,6 +305,14 @@ func (s *PM) applyFlush(addr, size uint64, ip string) {
 		}
 		for b := line; b < lineEnd; b++ {
 			if s.state[b] == Modified {
+				if unsoundFlushForTest {
+					// Deliberately wrong (see mutation.go): jump straight to
+					// Persisted without waiting for the fence.
+					s.state[b] = Persisted
+					s.persistEpoch[b] = s.clock
+					useful = true
+					continue
+				}
 				s.state[b] = WritebackPending
 				s.pendingLines[line] = struct{}{}
 				useful = true
