@@ -145,27 +145,33 @@ func Run(cfg Config, t Target) (*Result, error) {
 	}
 	r.roiActive = !t.ExplicitRoI
 
+	// The engine's workers must be drained on every exit path — including
+	// a failing or panicking Setup/Pre — or their goroutines leak.
+	engineClosed := false
+	closeEngine := func() {
+		if r.engine != nil && !engineClosed {
+			engineClosed = true
+			r.engine.close()
+		}
+	}
+	defer closeEngine()
+
 	start := time.Now()
 	ctx := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
 	if t.Setup != nil {
 		r.setupPhase = true
-		if err := t.Setup(ctx); err != nil {
-			return nil, fmt.Errorf("core: setup failed: %w", err)
+		if err := runStage("setup", t.Setup, ctx); err != nil {
+			return nil, err
 		}
 		r.setupPhase = false
 	}
-	if err := t.Pre(ctx); err != nil {
-		if r.engine != nil {
-			r.engine.close()
-		}
-		return nil, fmt.Errorf("core: pre-failure stage failed: %w", err)
+	if err := runStage("pre-failure stage", t.Pre, ctx); err != nil {
+		return nil, err
 	}
 	if r.roiActive {
 		r.maybeInjectFinal()
 	}
-	if r.engine != nil {
-		r.engine.close()
-	}
+	closeEngine()
 	total := time.Since(start)
 
 	preSeconds := (total - r.postTime).Seconds()
@@ -185,6 +191,23 @@ func Run(cfg Config, t Target) (*Result, error) {
 	}
 	res.trace = r.keptTrace
 	return res, nil
+}
+
+// runStage runs the Setup or Pre stage, converting panics — the target's
+// own or a harness fault unwinding out of the tracing machinery — into
+// harness errors. A hostile stage must degrade into an error return, never
+// crash the campaign process: only the Post stage was guarded before, so a
+// panicking Setup or Pre took down every remaining failure point with it.
+func runStage(name string, fn func(*Ctx) error, ctx *Ctx) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: %s panicked: %v", name, p)
+		}
+	}()
+	if err := fn(ctx); err != nil {
+		return fmt.Errorf("core: %s failed: %w", name, err)
+	}
+	return nil
 }
 
 // runner holds the mutable state of one detection run.

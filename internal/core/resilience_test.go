@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Resilience tests: the detection loop must survive hostile targets and
+// harness-internal faults, degrading into honest partial results instead of
+// crashing, hanging, or leaking goroutines.
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (small slack for runtime bookkeeping goroutines), failing with a
+// full stack dump when it does not.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestSetupPanicRecovered: a panicking Setup must become a harness error,
+// not a process crash.
+func TestSetupPanicRecovered(t *testing.T) {
+	target := Target{
+		Name:  "setup-panic",
+		Setup: func(c *Ctx) error { panic("hostile setup") },
+		Pre:   func(c *Ctx) error { return nil },
+	}
+	res, err := Run(Config{}, target)
+	if err == nil {
+		t.Fatalf("expected a harness error, got result:\n%v", res)
+	}
+	if !strings.Contains(err.Error(), "setup panicked") || !strings.Contains(err.Error(), "hostile setup") {
+		t.Errorf("error %q does not describe the setup panic", err)
+	}
+}
+
+// TestPrePanicRecovered: same for the pre-failure stage, including a
+// RangeError panic from an out-of-bounds PM access.
+func TestPrePanicRecovered(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pre  func(c *Ctx) error
+		want string
+	}{
+		{"explicit", func(c *Ctx) error { panic("hostile pre") }, "hostile pre"},
+		{"oob", func(c *Ctx) error { c.Pool().Store64(1 << 40, 1); return nil }, "out of range"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(Config{}, Target{Name: "pre-panic", Pre: tc.pre})
+			if err == nil {
+				t.Fatalf("expected a harness error, got result:\n%v", res)
+			}
+			if !strings.Contains(err.Error(), "pre-failure stage panicked") || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not describe the pre-failure panic", err)
+			}
+		})
+	}
+}
+
+// TestStageErrorsKeepWrapping: plain stage errors still come back wrapped,
+// with the cause reachable through errors.Is.
+func TestStageErrorsKeepWrapping(t *testing.T) {
+	cause := errors.New("disk on fire")
+	_, err := Run(Config{}, Target{
+		Name: "pre-error",
+		Pre:  func(c *Ctx) error { return cause },
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("pre-failure error lost its cause: %v", err)
+	}
+}
+
+// TestNoWorkerLeakOnFailingStages: with Workers > 1, the parallel engine
+// must be drained even when Setup or Pre fails or panics (before the fix,
+// a failing Setup leaked every worker goroutine).
+func TestNoWorkerLeakOnFailingStages(t *testing.T) {
+	stages := map[string]Target{
+		"setup-error": {
+			Name:  "leak-setup-error",
+			Setup: func(c *Ctx) error { return errors.New("setup says no") },
+			Pre:   func(c *Ctx) error { return nil },
+			Post:  func(c *Ctx) error { return nil },
+		},
+		"setup-panic": {
+			Name:  "leak-setup-panic",
+			Setup: func(c *Ctx) error { panic("setup panic") },
+			Pre:   func(c *Ctx) error { return nil },
+			Post:  func(c *Ctx) error { return nil },
+		},
+		"pre-error": {
+			Name: "leak-pre-error",
+			Pre:  func(c *Ctx) error { return errors.New("pre says no") },
+			Post: func(c *Ctx) error { return nil },
+		},
+		"pre-panic": {
+			Name: "leak-pre-panic",
+			Pre:  func(c *Ctx) error { panic("pre panic") },
+			Post: func(c *Ctx) error { return nil },
+		},
+	}
+	for name, target := range stages {
+		t.Run(name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			if _, err := Run(Config{Workers: 4}, target); err == nil {
+				t.Fatal("expected a harness error")
+			}
+			waitForGoroutines(t, base)
+		})
+	}
+}
