@@ -24,6 +24,22 @@ type Ctx struct {
 	failurePoint int
 	// postOutsideRoI tracks the RoI nesting for the post-failure stage.
 	postOutsideRoI bool
+	// gate is non-nil for post-failure stages running under
+	// Config.PostRunTimeout.
+	gate *postGate
+}
+
+// Abandoned returns a channel that is closed when the harness abandons this
+// post-failure run (its Config.PostRunTimeout deadline expired or the run
+// was cancelled). Long-running post-failure stages that wait on external
+// state — and so might never touch PM again — should select on it to wind
+// down promptly. It returns nil (blocking forever in a select) when the run
+// has no deadline.
+func (c *Ctx) Abandoned() <-chan struct{} {
+	if c.gate == nil {
+		return nil
+	}
+	return c.gate.ch
 }
 
 // Pool returns the persistent memory pool of the current stage. Post-failure

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,6 +74,37 @@ type Config struct {
 	// the hang-forever analogue of the paper's segmentation-fault scenario
 	// — and is reported as a post-failure fault so detection can continue.
 	MaxPostOps int
+	// PostRunTimeout bounds each post-failure execution's wall-clock time
+	// (0 = none). It covers what MaxPostOps cannot: a post-failure stage
+	// spinning without touching PM at all. On expiry the post-run goroutine
+	// is abandoned — it unwinds at its next PM operation, or when it polls
+	// Ctx.Abandoned — the fault is reported, and Result.AbandonedPostRuns
+	// is incremented. With a timeout set, each post-run executes on its own
+	// goroutine.
+	PostRunTimeout time.Duration
+	// FaultHooks injects deterministic harness-internal faults (failing
+	// image copies, failing trace sinks) into the run's pools, for testing
+	// the degradation paths. A post-run tripping a harness fault is retried
+	// once and then quarantined (Result.SkippedFailurePoints); a harness
+	// fault in the pre-failure stage fails the run with an error.
+	FaultHooks *pmem.FaultHooks
+	// CompletedFailurePoints marks failure points whose post-runs completed
+	// in a previous campaign (crash-safe resume): they are injected and
+	// counted but their post-failure executions are skipped, with
+	// Result.ResumedFailurePoints accounting. Combine with SeedReports from
+	// the same checkpoint, and identical Config/Target, so the resumed
+	// campaign converges to the identical deduplicated report set.
+	CompletedFailurePoints map[int]bool
+	// SeedReports pre-loads reports from a checkpoint into the
+	// deduplication set before the run starts.
+	SeedReports []Report
+	// OnPostRunComplete, if set, is called after the post-run of each
+	// failure point completes (including budget-exceeded and abandoned
+	// runs, which are deterministic, but not quarantined or cancelled ones,
+	// which a resumed campaign must re-execute) with the failure point's id
+	// and the reports that post-run newly added. Calls are serialized but
+	// may come from worker goroutines in parallel mode.
+	OnPostRunComplete func(failurePoint int, fresh []Report)
 }
 
 // defaultMaxPostOps bounds a post-failure run; real recoveries in the
@@ -113,14 +145,32 @@ type Target struct {
 // or Pre failing); bugs in the tested program — including post-failure
 // stages that crash — are reported in the Result.
 func Run(cfg Config, t Target) (*Result, error) {
+	return RunContext(context.Background(), cfg, t)
+}
+
+// RunContext is Run with cooperative cancellation. Cancellation is checked
+// at failure-point boundaries: once ctx is done, no further failure points
+// are injected (each elided injection counts into
+// Result.SkippedFailurePoints) and, when PostRunTimeout is set, the
+// in-flight post-run is abandoned. The pre-failure stage itself runs to
+// completion — it is the target's code — so a cancelled run still returns a
+// sound partial Result, marked Incomplete.
+func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	if t.Pre == nil {
 		return nil, errors.New("core: target has no pre-failure stage")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = defaultPoolSize
 	}
-	r := &runner{cfg: cfg, target: t, reports: newReportSet()}
+	r := &runner{ctx: ctx, cfg: cfg, target: t, reports: newReportSet()}
+	for _, rep := range cfg.SeedReports {
+		r.reports.add(rep)
+	}
 	r.pool = pmem.New(t.Name, int(cfg.PoolSize))
+	r.pool.SetFaultHooks(cfg.FaultHooks)
 	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
 	if cfg.Mode == ModeDetect && cfg.Workers > 1 {
 		// Parallel detection replays the pre-failure trace in the
@@ -157,15 +207,15 @@ func Run(cfg Config, t Target) (*Result, error) {
 	defer closeEngine()
 
 	start := time.Now()
-	ctx := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
+	pre := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
 	if t.Setup != nil {
 		r.setupPhase = true
-		if err := runStage("setup", t.Setup, ctx); err != nil {
+		if err := runStage("setup", t.Setup, pre); err != nil {
 			return nil, err
 		}
 		r.setupPhase = false
 	}
-	if err := runStage("pre-failure stage", t.Pre, ctx); err != nil {
+	if err := runStage("pre-failure stage", t.Pre, pre); err != nil {
 		return nil, err
 	}
 	if r.roiActive {
@@ -179,15 +229,21 @@ func Run(cfg Config, t Target) (*Result, error) {
 		preSeconds = 0 // parallel workers overlap the pre-failure stage
 	}
 	res := &Result{
-		Target:        t.Name,
-		Reports:       r.reports.snapshot(),
-		FailurePoints: r.failurePoints,
-		PostRuns:      r.postRuns,
-		PreEntries:    r.preEntries,
-		PostEntries:   r.postEntries,
-		BenignReads:   r.benign,
-		PostSeconds:   r.postTime.Seconds(),
-		PreSeconds:    preSeconds,
+		Target:               t.Name,
+		Reports:              r.reports.snapshot(),
+		FailurePoints:        r.failurePoints,
+		PostRuns:             r.postRuns,
+		PreEntries:           r.preEntries,
+		PostEntries:          r.postEntries,
+		BenignReads:          r.benign,
+		PostSeconds:          r.postTime.Seconds(),
+		PreSeconds:           preSeconds,
+		Incomplete:           r.incomplete,
+		IncompleteReason:     r.incompleteWhy,
+		SkippedFailurePoints: r.skippedFPs,
+		AbandonedPostRuns:    r.abandonedRuns,
+		ResumedFailurePoints: r.resumedFPs,
+		HarnessFaults:        r.harnessFaults,
 	}
 	res.trace = r.keptTrace
 	return res, nil
@@ -212,6 +268,7 @@ func runStage(name string, fn func(*Ctx) error, ctx *Ctx) (err error) {
 
 // runner holds the mutable state of one detection run.
 type runner struct {
+	ctx     context.Context
 	cfg     Config
 	target  Target
 	pool    *pmem.Pool
@@ -244,6 +301,57 @@ type runner struct {
 	sinkMu sync.Mutex
 
 	postTime time.Duration
+
+	// degradeMu guards the degradation accounting, which parallel workers
+	// and the pre-failure thread update concurrently.
+	degradeMu     sync.Mutex
+	incomplete    bool
+	incompleteWhy string
+	skippedFPs    int
+	abandonedRuns int
+	resumedFPs    int
+	harnessFaults []string
+
+	// cbMu serializes OnPostRunComplete callbacks across workers.
+	cbMu sync.Mutex
+}
+
+// markIncomplete records the first cause of degradation; callers hold
+// degradeMu.
+func (r *runner) markIncomplete(why string) {
+	if !r.incomplete {
+		r.incomplete = true
+		r.incompleteWhy = why
+	}
+}
+
+// noteSkipped accounts one failure point whose post-run was not (fully)
+// executed: cancellation, or a quarantine after a failed retry.
+func (r *runner) noteSkipped(why string) {
+	r.degradeMu.Lock()
+	defer r.degradeMu.Unlock()
+	r.skippedFPs++
+	r.markIncomplete(why)
+}
+
+// noteQuarantined accounts a failure point abandoned after a harness fault
+// survived its retry.
+func (r *runner) noteQuarantined(fpID int, err error) {
+	msg := fmt.Sprintf("failure point %d quarantined: %v", fpID, err)
+	r.degradeMu.Lock()
+	defer r.degradeMu.Unlock()
+	r.skippedFPs++
+	r.harnessFaults = append(r.harnessFaults, msg)
+	r.markIncomplete(msg)
+}
+
+// completeFP delivers the checkpoint callback for one completed post-run.
+func (r *runner) completeFP(fpID int, fresh []Report) {
+	if cb := r.cfg.OnPostRunComplete; cb != nil {
+		r.cbMu.Lock()
+		cb(fpID, fresh)
+		r.cbMu.Unlock()
+	}
 }
 
 func (r *runner) mode() Mode { return r.cfg.Mode }
@@ -344,6 +452,13 @@ func (r *runner) injectFailureSync() {
 // concurrent mutator threads are suspended for the duration, like the
 // paper's frontend suspending the program at the failure point.
 func (r *runner) injectFailure() {
+	if r.ctx.Err() != nil {
+		// Cancellation boundary: the failure point is not injected; count
+		// it so the partial result is honest about the campaign's coverage.
+		r.opsSinceFP = 0
+		r.noteSkipped(fmt.Sprintf("run cancelled: %v", context.Cause(r.ctx)))
+		return
+	}
 	fpID := r.failurePoints
 	r.failurePoints++
 	r.opsSinceFP = 0
@@ -351,14 +466,27 @@ func (r *runner) injectFailure() {
 	if r.target.Post == nil {
 		return
 	}
+	if r.cfg.CompletedFailurePoints[fpID] {
+		// Crash-safe resume: a previous campaign already executed this
+		// post-run; its reports arrived via Config.SeedReports.
+		r.degradeMu.Lock()
+		r.resumedFPs++
+		r.degradeMu.Unlock()
+		return
+	}
 	if r.engine != nil {
+		img, err := r.snapshotWithRetry()
+		if err != nil {
+			r.noteQuarantined(fpID, err)
+			return
+		}
 		r.postRuns++
 		pos := r.keptTrace.Len()
 		r.engine.submit(fpWork{
 			id:       fpID,
 			tracePos: pos,
 			entries:  r.keptTrace.Slice(0, pos),
-			image:    r.pool.Snapshot(),
+			image:    img,
 		})
 		return
 	}
@@ -367,15 +495,118 @@ func (r *runner) injectFailure() {
 	r.postTime += time.Since(start)
 }
 
+// snapshotWithRetry copies the PM image, retrying a harness-faulted copy
+// once before giving up.
+func (r *runner) snapshotWithRetry() ([]byte, error) {
+	img, err := r.pool.SnapshotErr()
+	if err == nil {
+		return img, nil
+	}
+	return r.pool.SnapshotErr()
+}
+
+// postOutcome is the result of one post-run attempt.
+type postOutcome struct {
+	// err is a target-level post failure, reported as a PostFailureFault.
+	err error
+	// harness is a harness-internal fault; the attempt is void and the
+	// caller retries once before quarantining the failure point.
+	harness error
+	// abandoned marks a run that exceeded PostRunTimeout; cancelled marks
+	// one abandoned because the run's context was cancelled.
+	abandoned bool
+	cancelled bool
+	// benign is the checker's benign byte count (zero for void attempts).
+	benign uint64
+	// entsRem is the worker-side unflushed trace-entry remainder.
+	entsRem int
+	// fresh lists the reports this attempt newly added to the global set.
+	fresh []Report
+}
+
+// classifyPost folds a finished post-stage call into an outcome,
+// separating harness-internal faults from target-level ones.
+func classifyPost(err error, benign uint64, entsRem int, fresh []Report) postOutcome {
+	var hf *pmem.HarnessFault
+	if errors.As(err, &hf) {
+		// Reports added before the fault stay in the global set (they are
+		// real observations); keep them for checkpointing, but the partial
+		// benign/entry statistics of a void attempt are discarded.
+		return postOutcome{harness: err, fresh: fresh}
+	}
+	return postOutcome{err: err, benign: benign, entsRem: entsRem, fresh: fresh}
+}
+
+// abandonSignal unwinds an abandoned post-run goroutine at its next PM
+// operation; the deciding side already accounted the run.
+type abandonSignal struct{}
+
+// postGate mediates between an abandoned post-run goroutine and the rest of
+// the run. Every sink delivery takes the gate mutex and checks the
+// abandoned flag first, so after abandon() returns, the runaway goroutine
+// can never again touch the shadow PM, the checker, or the runner — the
+// abandoning side may safely continue using them.
+type postGate struct {
+	mu        sync.Mutex
+	abandoned bool
+	// ch is closed on abandonment; long-running post stages can select on
+	// it (Ctx.Abandoned) to wind down promptly without touching PM.
+	ch chan struct{}
+}
+
+func newPostGate() *postGate { return &postGate{ch: make(chan struct{})} }
+
+func (g *postGate) abandon() {
+	g.mu.Lock()
+	if !g.abandoned {
+		g.abandoned = true
+		close(g.ch)
+	}
+	g.mu.Unlock()
+}
+
+// enter is called at the top of every gated sink delivery; the caller must
+// hold the gate for the duration of the delivery (Record defers unlock).
+func (g *postGate) enter() {
+	g.mu.Lock()
+	if g.abandoned {
+		g.mu.Unlock()
+		panic(abandonSignal{})
+	}
+}
+
 func (r *runner) runPost(fpID int) {
 	r.postRuns++
+	out := r.postAttempt(fpID)
+	if out.harness != nil {
+		prevFresh := out.fresh
+		out = r.postAttempt(fpID) // retry once
+		if out.harness != nil {
+			r.noteQuarantined(fpID, out.harness)
+			return
+		}
+		out.fresh = append(prevFresh, out.fresh...)
+	}
+	r.benign += out.benign
+	r.finishPost(fpID, out)
+}
+
+// postAttempt executes one post-failure run for fpID on a fresh copy of the
+// PM image, inline when no deadline is configured, on its own goroutine
+// under PostRunTimeout otherwise.
+func (r *runner) postAttempt(fpID int) postOutcome {
 	// The image copy contains ALL updates, including non-persisted ones
 	// (footnote 3); the shadow PM is what distinguishes them.
-	post := pmem.FromImage(r.pool.Name()+"@post", r.pool.Snapshot())
+	img, err := r.pool.SnapshotErr()
+	if err != nil {
+		return postOutcome{harness: err}
+	}
+	post := pmem.FromImage(r.pool.Name()+"@post", img)
+	post.SetFaultHooks(r.cfg.FaultHooks)
 	post.SetStage(trace.PostFailure)
 	post.SetIPCapture(!r.cfg.DisableIPCapture)
 	checker := r.sh.BeginPostCheck()
-	post.SetSink(&postSink{r: r, checker: checker, fpID: fpID})
+	sink := &postSink{r: r, checker: checker, fpID: fpID}
 	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: fpID}
 	if r.target.ExplicitRoI {
 		// Outside the post-failure RoI nothing is checked; RoIBegin
@@ -383,15 +614,69 @@ func (r *runner) runPost(fpID int) {
 		post.EnterSkipDetection()
 		ctx.postOutsideRoI = true
 	}
-	err := r.safePost(ctx)
-	r.benign += checker.Benign
-	if err != nil {
-		r.reports.add(Report{
-			Class:        PostFailureFault,
-			FailurePoint: fpID,
-			Message:      err.Error(),
-		})
+	if r.cfg.PostRunTimeout <= 0 {
+		post.SetSink(sink)
+		return classifyPost(r.safePost(ctx), checker.Benign, 0, sink.fresh)
 	}
+	gate := newPostGate()
+	sink.gate = gate
+	ctx.gate = gate
+	post.SetSink(sink)
+	done := make(chan error, 1)
+	go func() { done <- r.safePost(ctx) }()
+	return awaitPost(r, gate, done, func(err error) postOutcome {
+		return classifyPost(err, checker.Benign, 0, sink.fresh)
+	}, func() []Report { return sink.fresh })
+}
+
+// awaitPost waits for a timed post-run: completion, deadline expiry, or
+// cancellation, whichever comes first. freshFn is only called after
+// abandon(), when the runaway goroutine can no longer append.
+func awaitPost(r *runner, gate *postGate, done <-chan error, classify func(error) postOutcome, freshFn func() []Report) postOutcome {
+	timer := time.NewTimer(r.cfg.PostRunTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return classify(err)
+	case <-timer.C:
+		// Prefer a completion racing with the deadline.
+		select {
+		case err := <-done:
+			return classify(err)
+		default:
+		}
+		gate.abandon()
+		return postOutcome{abandoned: true, fresh: freshFn()}
+	case <-r.ctx.Done():
+		gate.abandon()
+		return postOutcome{cancelled: true}
+	}
+}
+
+// finishPost folds a completed (non-quarantined) post-run outcome into the
+// shared result state: fault reports, abandonment accounting, and the
+// checkpoint callback. Cancelled runs are counted as skipped and not
+// checkpointed, so a resumed campaign re-executes them; deadline-abandoned
+// runs are deterministic (the uninterrupted campaign times out the same
+// way) and are reported and checkpointed.
+func (r *runner) finishPost(fpID int, out postOutcome) {
+	if out.cancelled {
+		r.noteSkipped("run cancelled during a post-failure execution")
+		return
+	}
+	if out.abandoned {
+		r.degradeMu.Lock()
+		r.abandonedRuns++
+		r.degradeMu.Unlock()
+		out.err = fmt.Errorf("post-failure stage abandoned after its %v deadline (runaway execution not touching PM)", r.cfg.PostRunTimeout)
+	}
+	if out.err != nil {
+		rep := Report{Class: PostFailureFault, FailurePoint: fpID, Message: out.err.Error()}
+		if r.reports.add(rep) {
+			out.fresh = append(out.fresh, rep)
+		}
+	}
+	r.completeFP(fpID, out.fresh)
 }
 
 // safePost runs the post-failure stage, converting panics into
@@ -402,17 +687,29 @@ func (r *runner) runPost(fpID int) {
 func (r *runner) safePost(ctx *Ctx) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			switch v := p.(type) {
-			case terminationSignal:
-				return
-			case postBudgetExceeded:
-				err = fmt.Errorf("post-failure stage exceeded %d PM operations (likely an infinite loop on inconsistent state)", v.ops)
-			default:
-				err = fmt.Errorf("post-failure stage crashed: %v", p)
-			}
+			err = classifyPostPanic(p)
 		}
 	}()
 	return r.target.Post(ctx)
+}
+
+// classifyPostPanic maps a recovered post-stage panic to its error (nil for
+// the signals that mean "stop silently").
+func classifyPostPanic(p any) error {
+	switch v := p.(type) {
+	case terminationSignal:
+		return nil
+	case abandonSignal:
+		// The abandoning side already accounted this run; the goroutine
+		// just needs to unwind.
+		return nil
+	case postBudgetExceeded:
+		return fmt.Errorf("post-failure stage exceeded %d PM operations (likely an infinite loop on inconsistent state)", v.ops)
+	case *pmem.HarnessFault:
+		return fmt.Errorf("harness fault in post-failure stage: %w", v)
+	default:
+		return fmt.Errorf("post-failure stage crashed: %v", p)
+	}
 }
 
 // postSink receives the post-failure trace of one failure point and checks
@@ -422,12 +719,20 @@ type postSink struct {
 	checker *shadow.PostChecker
 	fpID    int
 	ents    int
+	// gate is non-nil on timed post-runs; fresh collects the reports this
+	// post-run newly added (for checkpointing).
+	gate  *postGate
+	fresh []Report
 }
 
 // Record implements pmem.Sink for a post-failure stage. It runs on the
 // goroutine executing the post-failure stage, so exceeding the operation
 // budget can unwind that stage directly by panicking.
 func (s *postSink) Record(e trace.Entry) {
+	if s.gate != nil {
+		s.gate.enter()
+		defer s.gate.mu.Unlock()
+	}
 	r := s.r
 	s.ents++
 	if s.ents > r.maxPostOps() {
@@ -448,14 +753,17 @@ func (s *postSink) Record(e trace.Entry) {
 			if f.Class == shadow.ClassSemantic {
 				class = CrossFailureSemantic
 			}
-			r.reports.add(Report{
+			rep := Report{
 				Class:        class,
 				Addr:         f.Addr,
 				Size:         f.Size,
 				ReaderIP:     e.IP,
 				WriterIP:     f.WriterIP,
 				FailurePoint: s.fpID,
-			})
+			}
+			if r.reports.add(rep) {
+				s.fresh = append(s.fresh, rep)
+			}
 		}
 	case trace.RegCommitVar, trace.RegCommitRange:
 		// Recovery code may (re-)register commit variables, e.g. when

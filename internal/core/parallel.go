@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
@@ -115,7 +114,8 @@ func (w *postWorker) run() {
 }
 
 // check advances the worker's shadow to the failure point and runs the
-// post-failure stage against it.
+// post-failure stage against it, with the same retry-once-then-quarantine
+// and deadline-abandonment semantics as the sequential path.
 func (w *postWorker) check(item fpWork) {
 	r := w.eng.r
 	// Advance this worker's shadow to the failure point by replaying the
@@ -125,39 +125,61 @@ func (w *postWorker) check(item fpWork) {
 	}
 	w.replayed = item.tracePos
 
+	out := w.attempt(item)
+	if out.harness != nil {
+		prevFresh := out.fresh
+		out = w.attempt(item) // retry once
+		if out.harness != nil {
+			r.noteQuarantined(item.id, out.harness)
+			return
+		}
+		out.fresh = append(prevFresh, out.fresh...)
+	}
+	w.eng.mu.Lock()
+	w.eng.benign += out.benign
+	w.eng.postEnts += out.entsRem
+	w.eng.mu.Unlock()
+	r.finishPost(item.id, out)
+}
+
+// attempt executes one post-failure run for the item's failure point,
+// inline or — under Config.PostRunTimeout — on its own goroutine. After
+// abandon() the runaway goroutine is gated away from the worker's shadow,
+// so the worker may keep replaying and checking subsequent failure points.
+func (w *postWorker) attempt(item fpWork) postOutcome {
+	r := w.eng.r
 	post := pmem.FromImage(r.pool.Name()+"@post", item.image)
+	post.SetFaultHooks(r.cfg.FaultHooks)
 	post.SetStage(trace.PostFailure)
 	post.SetIPCapture(!r.cfg.DisableIPCapture)
 	checker := w.sh.BeginPostCheck()
 	sink := &parallelPostSink{eng: w.eng, checker: checker, fpID: item.id, sh: w.sh}
-	post.SetSink(sink)
 	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: item.id}
 	if r.target.ExplicitRoI {
 		post.EnterSkipDetection()
 		ctx.postOutsideRoI = true
 	}
-	err := safePostCall(r.target.Post, ctx)
-	w.eng.mu.Lock()
-	w.eng.benign += checker.Benign
-	w.eng.postEnts += sink.ents % 64 // remainder of the batched counter
-	w.eng.mu.Unlock()
-	if err != nil {
-		r.reports.add(Report{Class: PostFailureFault, FailurePoint: item.id, Message: err.Error()})
+	if r.cfg.PostRunTimeout <= 0 {
+		post.SetSink(sink)
+		err := safePostCall(r.target.Post, ctx)
+		return classifyPost(err, checker.Benign, sink.ents%64, sink.fresh)
 	}
+	gate := newPostGate()
+	sink.gate = gate
+	ctx.gate = gate
+	post.SetSink(sink)
+	done := make(chan error, 1)
+	go func() { done <- safePostCall(r.target.Post, ctx) }()
+	return awaitPost(r, gate, done, func(err error) postOutcome {
+		return classifyPost(err, checker.Benign, sink.ents%64, sink.fresh)
+	}, func() []Report { return sink.fresh })
 }
 
 // safePostCall mirrors runner.safePost for worker goroutines.
 func safePostCall(post func(*Ctx) error, ctx *Ctx) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			switch v := p.(type) {
-			case terminationSignal:
-				return
-			case postBudgetExceeded:
-				err = fmt.Errorf("post-failure stage exceeded %d PM operations (likely an infinite loop on inconsistent state)", v.ops)
-			default:
-				err = fmt.Errorf("post-failure stage crashed: %v", p)
-			}
+			err = classifyPostPanic(p)
 		}
 	}()
 	return post(ctx)
@@ -171,12 +193,20 @@ type parallelPostSink struct {
 	sh      *shadow.PM
 	fpID    int
 	ents    int
+	// gate is non-nil on timed post-runs; fresh collects the reports this
+	// post-run newly added (for checkpointing).
+	gate  *postGate
+	fresh []Report
 }
 
-// Record implements pmem.Sink. It runs on the worker goroutine executing
-// the post-failure stage, so the operation budget unwinds that stage by
+// Record implements pmem.Sink. It runs on the goroutine executing the
+// post-failure stage, so the operation budget unwinds that stage by
 // panicking, exactly as in sequential mode.
 func (s *parallelPostSink) Record(e trace.Entry) {
+	if s.gate != nil {
+		s.gate.enter()
+		defer s.gate.mu.Unlock()
+	}
 	s.ents++
 	if s.ents > s.eng.r.maxPostOps() {
 		panic(postBudgetExceeded{ops: s.ents})
@@ -206,9 +236,9 @@ func (s *parallelPostSink) Record(e trace.Entry) {
 				WriterIP:     f.WriterIP,
 				FailurePoint: s.fpID,
 			}
-			s.eng.mu.Lock()
-			s.eng.r.reports.add(rep)
-			s.eng.mu.Unlock()
+			if s.eng.r.reports.add(rep) {
+				s.fresh = append(s.fresh, rep)
+			}
 		}
 	case trace.RegCommitVar, trace.RegCommitRange:
 		// Worker-local: recovery re-registrations are idempotent and the

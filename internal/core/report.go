@@ -172,6 +172,27 @@ type Result struct {
 	PreSeconds  float64
 	PostSeconds float64
 
+	// Incomplete reports that the campaign degraded: failure points were
+	// skipped because the run was cancelled or post-runs were quarantined
+	// after harness faults. The reports above are still sound — each one
+	// was genuinely observed — but coverage is partial.
+	Incomplete bool
+	// IncompleteReason is the first cause of degradation.
+	IncompleteReason string
+	// SkippedFailurePoints counts failure points whose post-failure
+	// executions did not run (cancellation) or were quarantined (harness
+	// faults surviving a retry).
+	SkippedFailurePoints int
+	// AbandonedPostRuns counts post-failure executions abandoned at their
+	// Config.PostRunTimeout deadline; each is also reported as a
+	// PostFailureFault.
+	AbandonedPostRuns int
+	// ResumedFailurePoints counts failure points skipped because a
+	// checkpoint (Config.CompletedFailurePoints) already covered them.
+	ResumedFailurePoints int
+	// HarnessFaults describes each quarantined failure point.
+	HarnessFaults []string
+
 	trace *trace.Trace
 }
 
@@ -222,6 +243,15 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "trace entries: %d pre, %d post; benign commit-variable reads: %d bytes\n",
 		r.PreEntries, r.PostEntries, r.BenignReads)
 	fmt.Fprintf(&b, "time: %.3fs pre-failure, %.3fs post-failure\n", r.PreSeconds, r.PostSeconds)
+	if r.ResumedFailurePoints > 0 {
+		fmt.Fprintf(&b, "resumed: %d failure point(s) reused from a checkpoint\n", r.ResumedFailurePoints)
+	}
+	if r.AbandonedPostRuns > 0 {
+		fmt.Fprintf(&b, "abandoned: %d post-failure run(s) exceeded their deadline\n", r.AbandonedPostRuns)
+	}
+	if r.Incomplete {
+		fmt.Fprintf(&b, "INCOMPLETE: %d failure point(s) skipped — %s\n", r.SkippedFailurePoints, r.IncompleteReason)
+	}
 	if len(r.Reports) == 0 {
 		b.WriteString("no bugs detected\n")
 		return b.String()

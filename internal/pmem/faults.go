@@ -1,0 +1,72 @@
+package pmem
+
+import (
+	"fmt"
+
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// Harness-fault injection.
+//
+// The detection loop copies PM images and streams trace entries through
+// sinks; in a production campaign either can fail (an exhausted allocator, a
+// broken trace spool). Those are *harness-internal* faults — the tested
+// program did nothing wrong — and the detector must degrade gracefully:
+// retry, quarantine the failure point, and keep the campaign running. The
+// hooks here let tests inject such faults deterministically so every
+// degradation path is exercised rather than trusted.
+
+// HarnessFault marks a failure of the detection harness itself, as opposed
+// to a bug in the tested program. The detection frontend retries and then
+// quarantines the affected failure point instead of reporting a bug.
+type HarnessFault struct {
+	// Op names the harness operation that failed: "image-copy" or
+	// "trace-sink".
+	Op  string
+	Err error
+}
+
+func (f *HarnessFault) Error() string {
+	return fmt.Sprintf("pmem: harness fault during %s: %v", f.Op, f.Err)
+}
+
+func (f *HarnessFault) Unwrap() error { return f.Err }
+
+// FaultHooks injects deterministic harness-internal faults. Each hook is
+// consulted before the operation it guards; returning a non-nil error fails
+// that operation with a *HarnessFault. The zero value injects nothing.
+// Hooks must be safe for concurrent use (parallel detection calls them from
+// worker goroutines).
+type FaultHooks struct {
+	// Snapshot is consulted before each PM image copy (SnapshotErr); a
+	// non-nil error fails the copy.
+	Snapshot func() error
+	// Sink is consulted before each trace-sink delivery with the entry
+	// about to be recorded; a non-nil error aborts the recording operation
+	// by panicking with a *HarnessFault, which unwinds the stage being
+	// traced into the detection frontend's recovery.
+	Sink func(e trace.Entry) error
+}
+
+// SetFaultHooks installs h on the pool (nil disables fault injection). The
+// detection frontend propagates the hooks of the pre-failure pool to every
+// post-failure image copy.
+func (p *Pool) SetFaultHooks(h *FaultHooks) {
+	p.mu.Lock()
+	p.faults = h
+	p.mu.Unlock()
+}
+
+// SnapshotErr is Snapshot with the image-copy fault hook applied: it
+// returns a *HarnessFault instead of an image when the hook fails the copy.
+func (p *Pool) SnapshotErr() ([]byte, error) {
+	p.mu.Lock()
+	h := p.faults
+	p.mu.Unlock()
+	if h != nil && h.Snapshot != nil {
+		if err := h.Snapshot(); err != nil {
+			return nil, &HarnessFault{Op: "image-copy", Err: err}
+		}
+	}
+	return p.Snapshot(), nil
+}

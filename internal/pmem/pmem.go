@@ -89,6 +89,7 @@ type Pool struct {
 	skipDet   int    // >0 while inside a skipDetection region
 	tid       uint32
 	ipEnabled bool
+	faults    *FaultHooks // deterministic harness-fault injection (faults.go)
 }
 
 // New creates a zeroed pool of the given size. Size is rounded up to a whole
@@ -245,7 +246,19 @@ func (p *Pool) emit(kind trace.Kind, addr, size uint64, fn string) {
 	if p.ipEnabled {
 		e.IP = callerIP()
 	}
+	faults := p.faults
 	p.mu.Unlock()
+	deliver(faults, sink, e)
+}
+
+// deliver hands e to the sink, consulting the sink fault hook first. The
+// hook runs outside the pool mutex so it may itself touch the pool.
+func deliver(faults *FaultHooks, sink Sink, e trace.Entry) {
+	if faults != nil && faults.Sink != nil {
+		if err := faults.Sink(e); err != nil {
+			panic(&HarnessFault{Op: "trace-sink", Err: err})
+		}
+	}
 	sink.Record(e)
 }
 
@@ -450,8 +463,9 @@ func (p *Pool) AnnounceEntry(e trace.Entry) {
 	if p.ipEnabled && e.IP == "" {
 		e.IP = callerIP()
 	}
+	faults := p.faults
 	p.mu.Unlock()
-	sink.Record(e)
+	deliver(faults, sink, e)
 }
 
 func putU32(b []byte, v uint32) {
