@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// Checkpoint file: one JSON object per line, appended and fsynced as each
+// failure point's post-run completes, so a killed campaign loses at most
+// the line being written. A resumed run seeds every recorded report and
+// skips the recorded failure points; because the pre-failure execution is
+// deterministic, the union converges to the uninterrupted run's report set.
+type checkpointLine struct {
+	FP      int           `json:"fp"`
+	Reports []core.Report `json:"reports,omitempty"`
+}
+
+// loadCheckpoint reads a (possibly truncated) checkpoint. A trailing line
+// that does not parse — the write the crash interrupted — is discarded;
+// its failure point simply reruns.
+func loadCheckpoint(path string) (map[int]bool, []core.Report, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil // nothing recorded yet: a full run
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	done := make(map[int]bool)
+	var seed []core.Report
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var l checkpointLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			break // torn tail from the crash; rerun from here
+		}
+		done[l.FP] = true
+		seed = append(seed, l.Reports...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return done, seed, nil
+}
+
+// checkpointWriter appends one line per completed failure point. Lines are
+// fsynced individually: a checkpoint exists to survive kill -9, so the
+// write must be durable before the campaign moves on.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens the file for appending. Without -resume an existing
+// checkpoint is refused rather than silently mixed with a new campaign.
+func openCheckpoint(path string, resuming bool) (*checkpointWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resuming {
+		flags |= os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if os.IsExist(err) {
+		return nil, fmt.Errorf("%s exists; pass -resume to continue it or remove it to start over", path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// record is installed as core.Config.OnPostRunComplete. The detector
+// serializes these calls, but the lock keeps the writer safe regardless.
+func (w *checkpointWriter) record(fp int, fresh []core.Report) {
+	line, err := json.Marshal(checkpointLine{FP: fp, Reports: fresh})
+	if err != nil {
+		return // Report is always marshalable; defensive only
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "xfdetector: checkpoint write failed: %v\n", err)
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "xfdetector: checkpoint sync failed: %v\n", err)
+	}
+}
+
+func (w *checkpointWriter) close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Close()
+}
+
+// writeKeys dumps the sorted deduplication keys, one per line — a stable
+// fingerprint of the report set for comparing runs (the kill-and-resume
+// test and the CI smoke step diff these files).
+func writeKeys(path string, reports []core.Report) error {
+	keys := make([]string, len(reports))
+	for i, r := range reports {
+		keys[i] = r.DedupKey()
+	}
+	sort.Strings(keys)
+	return os.WriteFile(path, []byte(strings.Join(keys, "\n")+"\n"), 0o644)
+}

@@ -6,13 +6,20 @@
 // Workloads: btree, ctree, rbtree, hashmap-tx, hashmap-atomic, redis,
 // memcached. Patches are the synthetic bugs of Table 5 (list them with
 // -list); an empty patch tests the correct program.
+//
+// Long campaigns can checkpoint completed failure points with -checkpoint
+// and, after a crash or ^C, continue with -resume; see README.md
+// ("Resilience & resume").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/pmemgo/xfdetector/internal/core"
 	"github.com/pmemgo/xfdetector/internal/pmredis"
@@ -28,31 +35,47 @@ var shortNames = map[string]string{
 }
 
 func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain is the whole program behind an exit code, so tests can drive the
+// CLI in-process or as a re-exec'd helper. Codes: 0 clean, 1 bugs found,
+// 2 usage or harness error, 3 campaign incomplete (cancelled or degraded —
+// resume it before trusting coverage).
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("xfdetector", flag.ContinueOnError)
 	var (
-		workload = flag.String("workload", "btree", "btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached")
-		initSize = flag.Int("init", 5, "insertions while initializing the PM image (INITSIZE)")
-		testSize = flag.Int("test", 5, "insertions in the pre-failure stage (TESTSIZE)")
-		updates  = flag.Int("updates", 1, "value updates in the pre-failure stage")
-		removes  = flag.Int("removes", 1, "removals in the pre-failure stage")
-		patch    = flag.String("patch", "", "synthetic bug to inject (see -list); empty = correct program")
-		list     = flag.Bool("list", false, "list available patches and exit")
-		mode     = flag.String("mode", "detect", "detect | trace | original (the Fig. 12b configurations)")
-		maxFP    = flag.Int("max-failure-points", 0, "cap on injected failure points (0 = unlimited)")
-		poolMB   = flag.Int("pool-mb", 4, "PM pool size in MiB")
-		workers  = flag.Int("workers", 1, "post-failure worker goroutines (>1 enables parallel detection)")
-		verbose  = flag.Bool("v", false, "print per-run statistics even when clean")
+		workload    = fs.String("workload", "btree", "btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached")
+		initSize    = fs.Int("init", 5, "insertions while initializing the PM image (INITSIZE)")
+		testSize    = fs.Int("test", 5, "insertions in the pre-failure stage (TESTSIZE)")
+		updates     = fs.Int("updates", 1, "value updates in the pre-failure stage")
+		removes     = fs.Int("removes", 1, "removals in the pre-failure stage")
+		patch       = fs.String("patch", "", "synthetic bug to inject (see -list); empty = correct program")
+		list        = fs.Bool("list", false, "list available patches and exit")
+		mode        = fs.String("mode", "detect", "detect | trace | original (the Fig. 12b configurations)")
+		maxFP       = fs.Int("max-failure-points", 0, "cap on injected failure points (0 = unlimited)")
+		poolMB      = fs.Int("pool-mb", 4, "PM pool size in MiB")
+		workers     = fs.Int("workers", 1, "post-failure worker goroutines (>1 enables parallel detection)")
+		postTimeout = fs.Duration("post-timeout", 0, "wall-clock deadline per post-failure run (0 = none)")
+		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
+		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
+		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
+		verbose     = fs.Bool("v", false, "print per-run statistics even when clean")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		listPatches()
-		return
+		return 0
 	}
 
 	cfg := core.Config{
 		PoolSize:         uint64(*poolMB) << 20,
 		MaxFailurePoints: *maxFP,
 		Workers:          *workers,
+		PostRunTimeout:   *postTimeout,
 	}
 	switch *mode {
 	case "detect":
@@ -62,7 +85,27 @@ func main() {
 	case "original":
 		cfg.Mode = core.ModeOriginal
 	default:
-		fatalf("unknown mode %q", *mode)
+		return errorf("unknown mode %q", *mode)
+	}
+
+	if *resume && *ckptPath == "" {
+		return errorf("-resume requires -checkpoint")
+	}
+	if *ckptPath != "" {
+		if *resume {
+			done, seed, err := loadCheckpoint(*ckptPath)
+			if err != nil {
+				return errorf("loading checkpoint: %v", err)
+			}
+			cfg.CompletedFailurePoints = done
+			cfg.SeedReports = seed
+		}
+		w, err := openCheckpoint(*ckptPath, *resume)
+		if err != nil {
+			return errorf("opening checkpoint: %v", err)
+		}
+		defer w.close()
+		cfg.OnPostRunComplete = w.record
 	}
 
 	target, err := buildTarget(*workload, *patch, workloads.TargetConfig{
@@ -73,20 +116,35 @@ func main() {
 		PostOps:  true,
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return errorf("%v", err)
 	}
 
-	res, err := core.Run(cfg, target)
+	// ^C (or SIGTERM) cancels at the next failure-point boundary; the
+	// partial result is printed, marked INCOMPLETE, and — when
+	// checkpointing — resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := core.RunContext(ctx, cfg, target)
 	if err != nil {
-		fatalf("detection failed: %v", err)
+		return errorf("detection failed: %v", err)
 	}
 	fmt.Print(res)
 	if *verbose {
-		fmt.Printf("mode=%s pool=%dMiB\n", cfg.Mode, *poolMB)
+		fmt.Printf("mode=%s pool=%dMiB post-timeout=%s\n", cfg.Mode, *poolMB, *postTimeout)
 	}
-	if !res.Clean() {
-		os.Exit(1)
+	if *keysOut != "" {
+		if err := writeKeys(*keysOut, res.Reports); err != nil {
+			return errorf("writing keys: %v", err)
+		}
 	}
+	switch {
+	case res.Incomplete:
+		return 3
+	case !res.Clean():
+		return 1
+	}
+	return 0
 }
 
 func buildTarget(workload, patch string, cfg workloads.TargetConfig) (core.Target, error) {
@@ -157,7 +215,7 @@ func listPatches() {
 		"init-race", core.CrossFailureRace, "paper", "Bug 3: num_dict_entries initialized outside the transaction")
 }
 
-func fatalf(format string, args ...any) {
+func errorf(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "xfdetector: "+format+"\n", args...)
-	os.Exit(2)
+	return 2
 }
