@@ -13,13 +13,20 @@
 // TestCorpusReplay regression test picks it up; the exit status is 1.
 // Everything is deterministic in the explicit -seed: the same seed and
 // knob always generate the same program and the same verdicts.
+//
+// ^C is graceful: the campaign stops at the next seed boundary, an
+// in-flight minimization returns its best reproducer so far, and the
+// summary line still reports what was checked. A second ^C kills the
+// process immediately.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"github.com/pmemgo/xfdetector/internal/fuzzgen"
@@ -43,10 +50,26 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// First ^C cancels the context; signal.Stop then restores the default
+	// handler so a second ^C terminates the process the ordinary way.
+	ctx, cancel := context.WithCancel(context.Background())
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "xfdfuzz: interrupted — finishing the current seed (^C again to kill)")
+		cancel()
+		signal.Stop(sigs)
+	}()
+
 	mismatches := 0
 	checked := int64(0)
+campaign:
 	for offset := int64(0); *n == 0 || offset < *n; offset++ {
 		for _, k := range knobs {
+			if ctx.Err() != nil {
+				break campaign
+			}
 			s := *seed + offset
 			err := fuzzgen.CheckSeed(s, k)
 			checked++
@@ -56,7 +79,7 @@ func main() {
 			case errors.As(err, &m):
 				mismatches++
 				fmt.Fprintln(os.Stderr, m.Error())
-				if path, werr := writeReproducer(*corpusDir, m.Program, *minimize); werr != nil {
+				if path, werr := writeReproducer(ctx, *corpusDir, m.Program, *minimize); werr != nil {
 					fmt.Fprintf(os.Stderr, "xfdfuzz: writing reproducer: %v\n", werr)
 				} else {
 					fmt.Fprintf(os.Stderr, "xfdfuzz: reproducer written to %s\n", path)
@@ -76,6 +99,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xfdfuzz: %d mismatches in %d programs\n", mismatches, checked)
 		os.Exit(1)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "xfdfuzz: interrupted — %d programs across %d knob(s) agreed with the oracle so far\n",
+			checked, len(knobs))
+		os.Exit(130)
+	}
 	fmt.Printf("xfdfuzz: OK — %d programs across %d knob(s) agree with the oracle\n", checked, len(knobs))
 }
 
@@ -92,10 +120,11 @@ func selectKnobs(name string) ([]fuzzgen.Knob, error) {
 }
 
 // writeReproducer minimizes the mismatching program (when asked) and
-// stores it as a corpus JSON file named after the program.
-func writeReproducer(dir string, p fuzzgen.Program, minimize bool) (string, error) {
+// stores it as a corpus JSON file named after the program. An interrupt
+// during minimization writes the smallest reproducer reached so far.
+func writeReproducer(ctx context.Context, dir string, p fuzzgen.Program, minimize bool) (string, error) {
 	if minimize {
-		p = fuzzgen.Minimize(p)
+		p = fuzzgen.MinimizeCtx(ctx, p)
 	}
 	data, err := p.MarshalIndent()
 	if err != nil {

@@ -1,6 +1,7 @@
 package fuzzgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -189,6 +190,13 @@ func compareFull(p Program, config string, want *OracleResult, res *core.Result)
 // whose shrunken form is invalid or merely harness-broken are rejected, so
 // minimization cannot wander away from genuine divergences.
 func Minimize(p Program) Program {
+	return MinimizeCtx(context.Background(), p)
+}
+
+// MinimizeCtx is Minimize with a cancellation point between candidate
+// programs: on cancellation it stops deleting and returns the smallest
+// still-mismatching program found so far, which remains a valid reproducer.
+func MinimizeCtx(ctx context.Context, p Program) Program {
 	failing := func(cand Program) bool {
 		var m *Mismatch
 		return errors.As(CheckProgram(cand), &m)
@@ -200,6 +208,10 @@ func Minimize(p Program) Program {
 		improved = false
 		for _, stage := range []*[]Op{&p.Post, &p.Pre, &p.Setup} {
 			for i := len(*stage) - 1; i >= 0; i-- {
+				if ctx.Err() != nil {
+					p.Name += "-min"
+					return p
+				}
 				saved := *stage
 				cand := make([]Op, 0, len(saved)-1)
 				cand = append(cand, saved[:i]...)
