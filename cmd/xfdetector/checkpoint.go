@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -17,44 +18,98 @@ import (
 // the line being written. A resumed run seeds every recorded report and
 // skips the recorded failure points; because the pre-failure execution is
 // deterministic, the union converges to the uninterrupted run's report set.
+//
+// A completed campaign appends one summary line (fp == -1) recording the
+// total failure-point count it observed and the reports attributed to the
+// pre-failure replay (performance bugs, fp < 0), which no per-point line
+// carries. The summary is what lets -merge decide whether the union of
+// shard checkpoints covers the whole campaign.
 type checkpointLine struct {
 	FP      int           `json:"fp"`
 	Reports []core.Report `json:"reports,omitempty"`
+	// Total and Shards are only set on the summary line: the campaign's
+	// failure-point count and the shard layout that wrote it (0 when the
+	// campaign was not sharded).
+	Total  int `json:"total,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
-// loadCheckpoint reads a (possibly truncated) checkpoint. A trailing line
-// that does not parse — the write the crash interrupted — is discarded;
-// its failure point simply reruns.
-func loadCheckpoint(path string) (map[int]bool, []core.Report, error) {
+// summaryFP marks the summary line; real failure points are 0-based.
+const summaryFP = -1
+
+// checkpointData is a parsed checkpoint: the completed failure points,
+// every recorded report (per-point and pre-failure alike), and the total
+// failure-point count from the summary line (-1 when no campaign over this
+// checkpoint completed yet).
+type checkpointData struct {
+	done  map[int]bool
+	seed  []core.Report
+	total int
+}
+
+// loadCheckpoint reads a (possibly truncated) checkpoint. Only a trailing
+// line that does not parse — the write the crash interrupted — is
+// discarded; a corrupt line with valid lines after it is mid-file damage,
+// and silently dropping those valid lines would make a resumed or merged
+// campaign under-count completed failure points, so it is a load error.
+func loadCheckpoint(path string) (checkpointData, error) {
+	cp := checkpointData{total: -1}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil, nil // nothing recorded yet: a full run
+		return cp, nil // nothing recorded yet: a full run
 	}
 	if err != nil {
-		return nil, nil, err
+		return cp, err
 	}
 	defer f.Close()
 
-	done := make(map[int]bool)
-	var seed []core.Report
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	// bufio.Reader.ReadString has no line-length cap: a failure point that
+	// contributed a large report set writes a line well past any fixed
+	// Scanner buffer, and resume must still read it.
+	var lines []string
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			lines = append(lines, line)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return cp, err
+		}
+	}
+
+	last := len(lines) - 1
+	for last >= 0 && strings.TrimSpace(lines[last]) == "" {
+		last--
+	}
+	cp.done = make(map[int]bool)
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
 		var l checkpointLine
 		if err := json.Unmarshal([]byte(line), &l); err != nil {
-			break // torn tail from the crash; rerun from here
+			if i == last {
+				break // torn tail from the crash; rerun from here
+			}
+			return checkpointData{total: -1}, fmt.Errorf("%s:%d: corrupt checkpoint line before intact ones (not a torn tail): %v", path, i+1, err)
 		}
-		done[l.FP] = true
-		seed = append(seed, l.Reports...)
+		if l.FP <= summaryFP {
+			if cp.total >= 0 && cp.total != l.Total {
+				return checkpointData{total: -1}, fmt.Errorf("%s:%d: summary lines disagree on the failure-point total (%d vs %d); refusing to mix campaigns", path, i+1, cp.total, l.Total)
+			}
+			cp.total = l.Total
+			cp.seed = append(cp.seed, l.Reports...)
+			continue
+		}
+		cp.done[l.FP] = true
+		cp.seed = append(cp.seed, l.Reports...)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	return done, seed, nil
+	return cp, nil
 }
 
 // checkpointWriter appends one line per completed failure point. Lines are
@@ -85,7 +140,25 @@ func openCheckpoint(path string, resuming bool) (*checkpointWriter, error) {
 // record is installed as core.Config.OnPostRunComplete. The detector
 // serializes these calls, but the lock keeps the writer safe regardless.
 func (w *checkpointWriter) record(fp int, fresh []core.Report) {
-	line, err := json.Marshal(checkpointLine{FP: fp, Reports: fresh})
+	w.append(checkpointLine{FP: fp, Reports: fresh})
+}
+
+// recordSummary appends the completion summary: the campaign's total
+// failure-point count, the shard layout, and the pre-failure reports
+// (fp < 0, i.e. performance bugs from the trace replay) that the per-point
+// lines do not carry. Written only when the run was not Incomplete.
+func (w *checkpointWriter) recordSummary(res *core.Result, shards int) {
+	line := checkpointLine{FP: summaryFP, Total: res.FailurePoints, Shards: shards}
+	for _, rep := range res.Reports {
+		if rep.FailurePoint < 0 {
+			line.Reports = append(line.Reports, rep)
+		}
+	}
+	w.append(line)
+}
+
+func (w *checkpointWriter) append(l checkpointLine) {
+	line, err := json.Marshal(l)
 	if err != nil {
 		return // Report is always marshalable; defensive only
 	}
@@ -108,12 +181,18 @@ func (w *checkpointWriter) close() {
 
 // writeKeys dumps the sorted deduplication keys, one per line — a stable
 // fingerprint of the report set for comparing runs (the kill-and-resume
-// test and the CI smoke step diff these files).
+// test and the CI smoke steps diff these files). An empty report set writes
+// an empty file: rendering it as a lone newline would be byte-identical to
+// a set holding one empty key.
 func writeKeys(path string, reports []core.Report) error {
 	keys := make([]string, len(reports))
 	for i, r := range reports {
 		keys[i] = r.DedupKey()
 	}
 	sort.Strings(keys)
-	return os.WriteFile(path, []byte(strings.Join(keys, "\n")+"\n"), 0o644)
+	out := ""
+	if len(keys) > 0 {
+		out = strings.Join(keys, "\n") + "\n"
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
 }

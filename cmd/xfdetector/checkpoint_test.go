@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// Regression tests for the checkpoint loader/writer bugs that sharding
+// exposed: a fixed line cap, silent truncation on mid-file corruption, and
+// an empty report set rendering as a lone newline.
+
+// TestLoadCheckpointHugeLine: a failure point that contributed a large
+// report set writes a line far past bufio.Scanner's old 1 MiB cap; resume
+// must still read the intact file instead of failing with ErrTooLong.
+func TestLoadCheckpointHugeLine(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	w, err := openCheckpoint(ckpt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := core.Report{Class: core.PostFailureFault, FailurePoint: 1,
+		Message: strings.Repeat("stack frame / ", 1<<17)} // ~1.8 MiB marshaled
+	w.record(0, nil)
+	w.record(1, []core.Report{big})
+	w.record(2, nil)
+	w.close()
+
+	fi, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 1<<20 {
+		t.Fatalf("checkpoint only %d bytes; too small to exercise the old 1 MiB cap", fi.Size())
+	}
+	cp, err := loadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("loading a >1MiB-line checkpoint: %v", err)
+	}
+	if len(cp.done) != 3 || !cp.done[0] || !cp.done[1] || !cp.done[2] {
+		t.Errorf("done = %v, want fps 0..2", cp.done)
+	}
+	if len(cp.seed) != 1 || cp.seed[0].Message != big.Message {
+		t.Errorf("the large report did not survive the round trip (%d seeds)", len(cp.seed))
+	}
+}
+
+// TestLoadCheckpointMidFileCorruption: a corrupt line with valid lines
+// after it is not the torn-write case — silently dropping the valid tail
+// would let a merge under-count completed failure points, so it must be a
+// load error.
+func TestLoadCheckpointMidFileCorruption(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(ckpt, []byte(`{"fp":0}
+{"fp":1,"repor@@@ damaged
+{"fp":2}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(ckpt); err == nil {
+		t.Fatal("mid-file corruption loaded without error, discarding valid lines")
+	} else if !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("error %q does not locate the corrupt line", err)
+	}
+}
+
+// TestLoadCheckpointSummary: the completion summary line carries the
+// failure-point total and the pre-failure (fp < 0) reports; repeated
+// agreeing summaries are fine, disagreeing ones are a mixed campaign.
+func TestLoadCheckpointSummary(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.jsonl")
+	w, err := openCheckpoint(ckpt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.record(0, []core.Report{{Class: core.CrossFailureRace, ReaderIP: "r.go:1", WriterIP: "w.go:2", FailurePoint: 0}})
+	res := &core.Result{
+		FailurePoints: 7,
+		Reports: []core.Report{
+			{Class: core.CrossFailureRace, ReaderIP: "r.go:1", WriterIP: "w.go:2", FailurePoint: 0},
+			{Class: core.Performance, ReaderIP: "p.go:3", FailurePoint: -1},
+		},
+	}
+	w.recordSummary(res, 3)
+	w.recordSummary(res, 3) // a resumed completion appends an identical summary
+	w.close()
+
+	cp, err := loadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.total != 7 {
+		t.Errorf("total = %d, want 7", cp.total)
+	}
+	if len(cp.done) != 1 || !cp.done[0] {
+		t.Errorf("done = %v, want fp 0 only (summary lines are not failure points)", cp.done)
+	}
+	perf := 0
+	for _, rep := range cp.seed {
+		if rep.FailurePoint < 0 {
+			perf++
+		}
+	}
+	if perf != 2 { // one per summary line; deduplication happens downstream
+		t.Errorf("pre-failure seeds = %d, want 2", perf)
+	}
+
+	disagree := filepath.Join(dir, "mixed.jsonl")
+	if err := os.WriteFile(disagree, []byte(`{"fp":-1,"total":7}
+{"fp":-1,"total":9}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(disagree); err == nil {
+		t.Error("disagreeing summary totals loaded without error")
+	}
+}
+
+// TestWriteKeysEmptySet: zero reports must write zero bytes — the old
+// rendering (a single newline) was byte-identical to a set holding one
+// empty key, confusing the CI diffs of clean workloads.
+func TestWriteKeysEmptySet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.txt")
+	if err := writeKeys(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Errorf("empty report set wrote %q, want an empty file", data)
+	}
+
+	// And a non-empty set still ends with exactly one trailing newline.
+	if err := writeKeys(path, []core.Report{{Class: core.CrossFailureRace, ReaderIP: "a", WriterIP: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' || strings.Count(string(data), "\n") != 1 {
+		t.Errorf("single-key file = %q, want one newline-terminated line", data)
+	}
+}

@@ -9,11 +9,15 @@
 //
 // Long campaigns can checkpoint completed failure points with -checkpoint
 // and, after a crash or ^C, continue with -resume; see README.md
-// ("Resilience & resume").
+// ("Resilience & resume"). Campaigns shard across processes with
+// -shards/-shard-index (manual), -spawn N (supervised fleet on this
+// machine), and -merge (union shard checkpoints into one report); see
+// README.md ("Sharded campaigns").
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +39,17 @@ var shortNames = map[string]string{
 }
 
 func main() {
-	os.Exit(realMain(os.Args[1:]))
+	args := os.Args[1:]
+	// A shard spawned by -spawn receives its authoritative argument vector
+	// through the environment (see shardArgsEnv); argv carries the same
+	// flags for visibility in ps/pkill only.
+	if encoded := os.Getenv(shardArgsEnv); encoded != "" {
+		if err := json.Unmarshal([]byte(encoded), &args); err != nil {
+			fmt.Fprintf(os.Stderr, "xfdetector: bad %s: %v\n", shardArgsEnv, err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(realMain(args))
 }
 
 // realMain is the whole program behind an exit code, so tests can drive the
@@ -60,6 +74,10 @@ func realMain(args []string) int {
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
 		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
+		shards      = fs.Int("shards", 0, "total shards of a partitioned campaign (this process runs failure points fp%%shards == shard-index)")
+		shardIndex  = fs.Int("shard-index", -1, "this process's shard in [0, shards)")
+		spawn       = fs.Int("spawn", 0, "fork this many shard subprocesses, supervise them (re-spawning crashed shards with -resume), and merge their checkpoints")
+		merge       = fs.Bool("merge", false, "merge mode: union the checkpoint files given as arguments into one report (use before positional operands, e.g. -merge -keys-out k.txt a.ckpt b.ckpt)")
 		verbose     = fs.Bool("v", false, "print per-run statistics even when clean")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,12 +88,47 @@ func realMain(args []string) int {
 		listPatches()
 		return 0
 	}
+	if *merge {
+		if *spawn > 0 || *shards > 0 {
+			return errorf("-merge cannot be combined with -spawn or -shards")
+		}
+		return runMerge(fs.Args(), *keysOut)
+	}
+	switch {
+	case *shards < 0:
+		return errorf("-shards must be >= 0")
+	case *shards > 1 && (*shardIndex < 0 || *shardIndex >= *shards):
+		return errorf("-shards %d requires -shard-index in [0, %d)", *shards, *shards)
+	case *shards <= 1 && *shardIndex >= 0:
+		return errorf("-shard-index requires -shards > 1")
+	}
+	if *spawn != 0 {
+		switch {
+		case *spawn < 2:
+			return errorf("-spawn needs at least 2 shards")
+		case *shards > 0:
+			return errorf("-spawn and -shards are mutually exclusive (-spawn derives the shard layout itself)")
+		case *ckptPath == "":
+			return errorf("-spawn requires -checkpoint: shard checkpoints are what crash recovery and the final merge consume")
+		}
+		return runSpawn(spawnConfig{
+			shards:   *spawn,
+			baseArgs: shardBaseArgs(fs),
+			ckptBase: *ckptPath,
+			resume:   *resume,
+			keysOut:  *keysOut,
+		})
+	}
 
 	cfg := core.Config{
 		PoolSize:         uint64(*poolMB) << 20,
 		MaxFailurePoints: *maxFP,
 		Workers:          *workers,
 		PostRunTimeout:   *postTimeout,
+	}
+	if *shards > 1 {
+		cfg.ShardCount = *shards
+		cfg.ShardIndex = *shardIndex
 	}
 	switch *mode {
 	case "detect":
@@ -91,21 +144,38 @@ func realMain(args []string) int {
 	if *resume && *ckptPath == "" {
 		return errorf("-resume requires -checkpoint")
 	}
+	var ckptW *checkpointWriter
 	if *ckptPath != "" {
 		if *resume {
-			done, seed, err := loadCheckpoint(*ckptPath)
+			cp, err := loadCheckpoint(*ckptPath)
 			if err != nil {
 				return errorf("loading checkpoint: %v", err)
 			}
-			cfg.CompletedFailurePoints = done
-			cfg.SeedReports = seed
+			cfg.CompletedFailurePoints = cp.done
+			cfg.SeedReports = cp.seed
 		}
 		w, err := openCheckpoint(*ckptPath, *resume)
 		if err != nil {
 			return errorf("opening checkpoint: %v", err)
 		}
 		defer w.close()
+		ckptW = w
 		cfg.OnPostRunComplete = w.record
+	}
+	if *shards > 1 {
+		// Shard progress on stderr: the -spawn orchestrator streams these
+		// lines, prefixed per shard, while the fleet runs.
+		inner := cfg.OnPostRunComplete
+		completed := 0
+		cfg.OnPostRunComplete = func(fp int, fresh []core.Report) {
+			if inner != nil {
+				inner(fp, fresh)
+			}
+			completed++ // callbacks are serialized by the detector
+			if completed%shardProgressEvery == 0 {
+				fmt.Fprintf(os.Stderr, "shard %d/%d: %d failure point(s) completed\n", *shardIndex, *shards, completed)
+			}
+		}
 	}
 
 	target, err := buildTarget(*workload, *patch, workloads.TargetConfig{
@@ -128,6 +198,16 @@ func realMain(args []string) int {
 	res, err := core.RunContext(ctx, cfg, target)
 	if err != nil {
 		return errorf("detection failed: %v", err)
+	}
+	if ckptW != nil && !res.Incomplete {
+		// The campaign over this checkpoint finished: record the summary
+		// line (failure-point total + pre-failure reports) that -merge
+		// needs to prove the union of shard checkpoints is complete.
+		ckptW.recordSummary(res, *shards)
+	}
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "shard %d/%d: done — %d post-run(s), %d delegated, %d report(s)\n",
+			*shardIndex, *shards, res.PostRuns, res.OtherShardFailurePoints, len(res.Reports))
 	}
 	fmt.Print(res)
 	if *verbose {
@@ -213,6 +293,27 @@ func listPatches() {
 	}
 	fmt.Printf("\nredis:\n  %-32s %-28s [%s] %s\n",
 		"init-race", core.CrossFailureRace, "paper", "Bug 3: num_dict_entries initialized outside the transaction")
+}
+
+// shardProgressEvery paces the per-shard stderr progress lines.
+const shardProgressEvery = 10
+
+// shardBaseArgs rebuilds the workload/engine flags a -spawn orchestrator
+// forwards to every shard: every flag the user set except the ones the
+// orchestrator owns (shard layout, checkpoint paths, merge/keys output).
+// The -name=value form keeps boolean flags parseable.
+func shardBaseArgs(fs *flag.FlagSet) []string {
+	owned := map[string]bool{
+		"spawn": true, "merge": true, "shards": true, "shard-index": true,
+		"checkpoint": true, "resume": true, "keys-out": true, "list": true,
+	}
+	var args []string
+	fs.Visit(func(f *flag.Flag) {
+		if !owned[f.Name] {
+			args = append(args, fmt.Sprintf("-%s=%s", f.Name, f.Value.String()))
+		}
+	})
+	return args
 }
 
 func errorf(format string, args ...any) int {

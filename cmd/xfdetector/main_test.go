@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,9 +13,20 @@ import (
 	"time"
 )
 
-// TestMain doubles as the CLI when re-exec'd by the kill-and-resume test:
-// with XFDETECTOR_HELPER_ARGS set, the test binary IS xfdetector.
+// TestMain doubles as the CLI when re-exec'd by the kill-and-resume and
+// sharding tests: with XFDETECTOR_SHARD_ARGS (JSON, set by the -spawn
+// orchestrator) or XFDETECTOR_HELPER_ARGS set, the test binary IS
+// xfdetector. The shard vector must win: an orchestrator running as a
+// helper passes its own helper env down to the shards it spawns.
 func TestMain(m *testing.M) {
+	if encoded := os.Getenv(shardArgsEnv); encoded != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(encoded), &args); err != nil {
+			fmt.Fprintf(os.Stderr, "bad %s: %v\n", shardArgsEnv, err)
+			os.Exit(2)
+		}
+		os.Exit(realMain(args))
+	}
 	if args := os.Getenv("XFDETECTOR_HELPER_ARGS"); args != "" {
 		os.Exit(realMain(strings.Fields(args)))
 	}
@@ -22,8 +35,17 @@ func TestMain(m *testing.M) {
 
 func runCLI(t *testing.T, args ...string) (int, string) {
 	t.Helper()
+	return runCLIEnv(t, nil, args...)
+}
+
+// runCLIEnv is runCLI with extra environment entries for the re-exec'd
+// process (e.g. the orchestrator's deterministic kill hook), usable from
+// parallel tests where t.Setenv is not.
+func runCLIEnv(t *testing.T, extraEnv []string, args ...string) (int, string) {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), "XFDETECTOR_HELPER_ARGS="+strings.Join(args, " "))
+	cmd.Env = append(cmd.Env, extraEnv...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &out
@@ -42,64 +64,71 @@ const campaign = "-workload btree -init 3 -test 80 -patch btree-skip-add-leaf"
 // TestKillAndResume is the acceptance test for crash-safe resume: a
 // checkpointed campaign killed with SIGKILL mid-run and then resumed must
 // produce the byte-identical deduplicated report set of an uninterrupted
-// run.
+// run — sequentially and with the parallel engine's worker-goroutine
+// checkpoint callbacks.
 func TestKillAndResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-execs a full detection campaign")
 	}
-	dir := t.TempDir()
-	refKeys := filepath.Join(dir, "ref-keys.txt")
-	ckpt := filepath.Join(dir, "ckpt.jsonl")
-	resKeys := filepath.Join(dir, "resumed-keys.txt")
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			run := fmt.Sprintf("%s -workers %d", campaign, workers)
+			dir := t.TempDir()
+			refKeys := filepath.Join(dir, "ref-keys.txt")
+			ckpt := filepath.Join(dir, "ckpt.jsonl")
+			resKeys := filepath.Join(dir, "resumed-keys.txt")
 
-	// Reference: the same campaign, uninterrupted.
-	code, out := runCLI(t, campaign+" -keys-out "+refKeys)
-	if code != 0 && code != 1 {
-		t.Fatalf("reference run exited %d:\n%s", code, out)
-	}
+			// Reference: the same campaign, uninterrupted.
+			code, out := runCLI(t, run+" -keys-out "+refKeys)
+			if code != 0 && code != 1 {
+				t.Fatalf("reference run exited %d:\n%s", code, out)
+			}
 
-	// Start the checkpointed campaign and SIGKILL it once enough failure
-	// points are durably recorded — no chance to flush or trap anything.
-	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(),
-		"XFDETECTOR_HELPER_ARGS="+campaign+" -checkpoint "+ckpt)
-	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
-	}
-	deadline := time.Now().Add(30 * time.Second)
-	for countLines(ckpt) < 5 {
-		if time.Now().After(deadline) {
-			cmd.Process.Kill()
+			// Start the checkpointed campaign and SIGKILL it once enough
+			// failure points are durably recorded — no chance to flush or
+			// trap anything.
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(),
+				"XFDETECTOR_HELPER_ARGS="+run+" -checkpoint "+ckpt)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for countLines(ckpt) < 5 {
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatalf("campaign recorded only %d checkpoint lines in 30s", countLines(ckpt))
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
 			cmd.Wait()
-			t.Fatalf("campaign recorded only %d checkpoint lines in 30s", countLines(ckpt))
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
-		t.Fatal(err)
-	}
-	cmd.Wait()
-	killedAt := countLines(ckpt)
+			killedAt := countLines(ckpt)
 
-	// Resume and compare.
-	code, out = runCLI(t, campaign+" -checkpoint "+ckpt+" -resume -keys-out "+resKeys)
-	if code != 0 && code != 1 {
-		t.Fatalf("resumed run exited %d:\n%s", code, out)
-	}
-	if !strings.Contains(out, "resumed:") {
-		t.Errorf("resumed run does not report reused failure points (killed at %d lines):\n%s", killedAt, out)
-	}
-	ref, err := os.ReadFile(refKeys)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := os.ReadFile(resKeys)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(ref, res) {
-		t.Errorf("report sets diverge after kill+resume (killed at %d checkpoint lines):\nreference:\n%s\nresumed:\n%s",
-			killedAt, ref, res)
+			// Resume and compare.
+			code, out = runCLI(t, run+" -checkpoint "+ckpt+" -resume -keys-out "+resKeys)
+			if code != 0 && code != 1 {
+				t.Fatalf("resumed run exited %d:\n%s", code, out)
+			}
+			if !strings.Contains(out, "resumed:") {
+				t.Errorf("resumed run does not report reused failure points (killed at %d lines):\n%s", killedAt, out)
+			}
+			ref, err := os.ReadFile(refKeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := os.ReadFile(resKeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, res) {
+				t.Errorf("report sets diverge after kill+resume (killed at %d checkpoint lines):\nreference:\n%s\nresumed:\n%s",
+					killedAt, ref, res)
+			}
+		})
 	}
 }
 
@@ -113,15 +142,18 @@ func TestTruncatedCheckpointTolerated(t *testing.T) {
 {"fp":2,"repor`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	done, seed, err := loadCheckpoint(ckpt)
+	cp, err := loadCheckpoint(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != 2 || !done[0] || !done[1] {
-		t.Errorf("done = %v, want fps 0 and 1 (torn fp 2 discarded)", done)
+	if len(cp.done) != 2 || !cp.done[0] || !cp.done[1] {
+		t.Errorf("done = %v, want fps 0 and 1 (torn fp 2 discarded)", cp.done)
 	}
-	if len(seed) != 1 || seed[0].ReaderIP != "a.go:1" {
-		t.Errorf("seed = %v, want the one recorded report", seed)
+	if len(cp.seed) != 1 || cp.seed[0].ReaderIP != "a.go:1" {
+		t.Errorf("seed = %v, want the one recorded report", cp.seed)
+	}
+	if cp.total != -1 {
+		t.Errorf("total = %d, want -1 (no summary line)", cp.total)
 	}
 }
 

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// Merge mode: union shard checkpoints into one deduplicated report.
+//
+//	xfdetector -merge shard0.ckpt shard1.ckpt shard2.ckpt [-keys-out keys.txt]
+//
+// Sharded campaigns run the identical deterministic pre-failure execution,
+// so their checkpoints agree on failure-point numbering; the union of their
+// per-point lines is the single-process campaign's report set once every
+// failure point is covered. Coverage is decided against the summary lines:
+// each completed (shard) campaign records the total failure-point count it
+// observed, and the merge requires every point in [0, total) to be present.
+// The merged result reuses the CLI exit-code contract — 0 clean, 1 bugs,
+// 2 unreadable or inconsistent checkpoints, 3 union incomplete.
+
+// mergeCheckpoints unions the named checkpoints into a single Result with
+// reports deduplicated by DedupKey. Missing files are an error when
+// strict — a typo'd -merge operand must not read as an empty shard — and
+// tolerated by the orchestrator, whose crashed shards may never have
+// created their file (the coverage check still reports the hole).
+func mergeCheckpoints(paths []string, strict bool) (*core.Result, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no checkpoint files to merge")
+	}
+	seen := make(map[string]bool)
+	var reports []core.Report
+	done := make(map[int]bool)
+	total := -1
+	for _, path := range paths {
+		if strict {
+			if _, err := os.Stat(path); err != nil {
+				return nil, err
+			}
+		}
+		cp, err := loadCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		if cp.total >= 0 {
+			if total >= 0 && total != cp.total {
+				return nil, fmt.Errorf("%s: failure-point total %d disagrees with %d from earlier checkpoints; these shards ran different campaigns", path, cp.total, total)
+			}
+			total = cp.total
+		}
+		for fp := range cp.done {
+			done[fp] = true
+		}
+		for _, rep := range cp.seed {
+			if k := rep.DedupKey(); !seen[k] {
+				seen[k] = true
+				reports = append(reports, rep)
+			}
+		}
+	}
+
+	res := &core.Result{
+		Target:   fmt.Sprintf("merge of %d checkpoint(s)", len(paths)),
+		Reports:  reports,
+		PostRuns: len(done),
+	}
+	maxFP := -1
+	for fp := range done {
+		if fp > maxFP {
+			maxFP = fp
+		}
+	}
+	switch {
+	case total < 0:
+		// No shard finished its campaign, so the true failure-point count
+		// is unknown; whatever was recorded cannot be shown complete.
+		res.FailurePoints = maxFP + 1
+		res.Incomplete = true
+		res.IncompleteReason = "no checkpoint carries a completion summary; the campaign's failure-point total is unknown"
+		res.SkippedFailurePoints = missingBelow(done, maxFP+1)
+	default:
+		res.FailurePoints = total
+		if missing := missingBelow(done, total); missing > 0 {
+			res.Incomplete = true
+			res.IncompleteReason = fmt.Sprintf("union covers %d of %d failure points", len(done), total)
+			res.SkippedFailurePoints = missing
+		}
+	}
+	return res, nil
+}
+
+// missingBelow counts failure points in [0, n) absent from done.
+func missingBelow(done map[int]bool, n int) int {
+	missing := 0
+	for fp := 0; fp < n; fp++ {
+		if !done[fp] {
+			missing++
+		}
+	}
+	return missing
+}
+
+// runMerge is the -merge entry point: union, print, optionally write the
+// key fingerprint, and exit by the shared contract.
+func runMerge(paths []string, keysOut string) int {
+	res, err := mergeCheckpoints(paths, true)
+	if err != nil {
+		return errorf("merging checkpoints: %v", err)
+	}
+	fmt.Print(res)
+	fmt.Printf("merged checkpoints: %s\n", strings.Join(paths, ", "))
+	if keysOut != "" {
+		if err := writeKeys(keysOut, res.Reports); err != nil {
+			return errorf("writing keys: %v", err)
+		}
+	}
+	switch {
+	case res.Incomplete:
+		return 3
+	case !res.Clean():
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Sharded-campaign tests at the CLI level: manual -shards/-shard-index
+// runs merged with -merge, and the -spawn orchestrator with its
+// crash-respawn supervision. All of them pin the contract that the merged
+// report key set is byte-identical to the single-process campaign's
+// -keys-out.
+
+// TestShardFlagValidation: inconsistent shard flags are usage errors, not
+// silently partial campaigns.
+func TestShardFlagValidation(t *testing.T) {
+	for _, args := range []string{
+		"-shards 2",                          // no -shard-index
+		"-shards 2 -shard-index 2",           // index out of range
+		"-shard-index 0",                     // index without -shards
+		"-spawn 2",                           // no -checkpoint
+		"-spawn 1 -checkpoint c",             // fewer than 2 shards
+		"-spawn 2 -shards 2 -checkpoint c",   // conflicting layouts
+		"-merge -spawn 2",                    // conflicting modes
+		"-merge",                             // nothing to merge
+		"-merge /nonexistent/definitely.ckpt", // typo'd operand
+	} {
+		if code, out := runCLI(t, args); code != 2 {
+			t.Errorf("%q exited %d, want 2:\n%s", args, code, out)
+		}
+	}
+}
+
+// shardTable is the Table 4 workload matrix the sharded-equivalence
+// acceptance criterion runs over: the five micro benchmarks with a seeded
+// bug, Redis with the paper's Bug 3, and Memcached clean (whose empty
+// report set also exercises the empty -keys-out encoding).
+var shardTable = []struct {
+	name string
+	args string
+}{
+	{"btree", "-workload btree -init 2 -test 2 -patch btree-skip-add-leaf"},
+	{"ctree", "-workload ctree -init 2 -test 2 -patch ctree-skip-add-count"},
+	{"rbtree", "-workload rbtree -init 2 -test 2 -patch rbt-skip-add-root"},
+	{"hashmap-tx", "-workload hashmap-tx -init 2 -test 2 -patch hmtx-skip-add-slot"},
+	{"hashmap-atomic", "-workload hashmap-atomic -init 2 -test 2 -patch hma-sem-inverted-dirty"},
+	{"redis", "-workload redis -init 2 -test 2 -patch init-race"},
+	{"memcached", "-workload memcached -init 2 -test 2"},
+}
+
+// TestShardedCampaignEquivalence: for every workload in the equivalence
+// table, an N-shard campaign (N ∈ {2, 3}) driven by the -spawn
+// orchestrator merges to the byte-identical key set of the single-process
+// run — including when one shard is SIGKILLed mid-run and re-spawned with
+// -resume (the 3-shard variant arms the orchestrator's deterministic
+// kill hook on shard 1).
+func TestShardedCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs full detection campaigns")
+	}
+	for _, tt := range shardTable {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			refKeys := filepath.Join(dir, "ref-keys.txt")
+			code, out := runCLI(t, tt.args+" -keys-out "+refKeys)
+			if code != 0 && code != 1 {
+				t.Fatalf("single-process run exited %d:\n%s", code, out)
+			}
+			ref, err := os.ReadFile(refKeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, shards := range []int{2, 3} {
+				ckpt := filepath.Join(dir, fmt.Sprintf("n%d.ckpt", shards))
+				keys := filepath.Join(dir, fmt.Sprintf("n%d-keys.txt", shards))
+				var env []string
+				if shards == 3 {
+					env = []string{spawnTestKillEnv + "=1"}
+				}
+				mcode, mout := runCLIEnv(t, env, fmt.Sprintf("%s -spawn %d -checkpoint %s -keys-out %s", tt.args, shards, ckpt, keys))
+				if mcode != code {
+					t.Fatalf("spawn %d exited %d, single-process run exited %d:\n%s", shards, mcode, code, mout)
+				}
+				got, err := os.ReadFile(keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ref, got) {
+					t.Errorf("spawn %d merged keys diverge from single-process run:\nref:\n%s\nmerged:\n%s\norchestrator output:\n%s",
+						shards, ref, got, mout)
+				}
+			}
+		})
+	}
+}
+
+// TestManualShardingAndMerge: the two-terminal workflow — each shard run
+// by hand with -shards/-shard-index and its own checkpoint, then -merge.
+// A merge over a strict subset of the shards must exit 3 (the union does
+// not cover the campaign); the full merge must equal the single-process
+// key set byte for byte.
+func TestManualShardingAndMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs full detection campaigns")
+	}
+	const base = "-workload btree -init 2 -test 4 -patch btree-skip-add-leaf"
+	dir := t.TempDir()
+	refKeys := filepath.Join(dir, "ref-keys.txt")
+	refCode, out := runCLI(t, base+" -keys-out "+refKeys)
+	if refCode != 1 {
+		t.Fatalf("single-process run exited %d, want 1 (seeded bug):\n%s", refCode, out)
+	}
+
+	const shards = 3
+	paths := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("s%d.ckpt", i))
+		code, out := runCLI(t, fmt.Sprintf("%s -shards %d -shard-index %d -checkpoint %s", base, shards, i, paths[i]))
+		if code != 0 && code != 1 {
+			t.Fatalf("shard %d exited %d:\n%s", i, code, out)
+		}
+		if !strings.Contains(out, fmt.Sprintf("shard %d/%d:", i, shards)) {
+			t.Errorf("shard %d did not report its shard accounting:\n%s", i, out)
+		}
+	}
+
+	// Partial union: the orchestration equivalent of a lost shard.
+	code, out := runCLI(t, "-merge "+paths[0]+" "+paths[2])
+	if code != 3 {
+		t.Fatalf("partial merge exited %d, want 3 (union does not cover the campaign):\n%s", code, out)
+	}
+	if !strings.Contains(out, "INCOMPLETE") {
+		t.Errorf("partial merge does not report incompleteness:\n%s", out)
+	}
+
+	mergedKeys := filepath.Join(dir, "merged-keys.txt")
+	code, out = runCLI(t, fmt.Sprintf("-merge -keys-out %s %s", mergedKeys, strings.Join(paths, " ")))
+	if code != refCode {
+		t.Fatalf("full merge exited %d, want %d:\n%s", code, refCode, out)
+	}
+	ref, err := os.ReadFile(refKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(mergedKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Errorf("merged keys diverge from single-process run:\nref:\n%s\nmerged:\n%s", ref, got)
+	}
+}
+
+// TestSpawnRespawnsKilledShard: on a campaign long enough that the kill
+// hook reliably lands mid-run, the orchestrator must actually re-spawn the
+// SIGKILLed shard with -resume and still merge to the single-process key
+// set.
+func TestSpawnRespawnsKilledShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs a full detection campaign")
+	}
+	dir := t.TempDir()
+	refKeys := filepath.Join(dir, "ref-keys.txt")
+	code, out := runCLI(t, campaign+" -keys-out "+refKeys)
+	if code != 1 {
+		t.Fatalf("single-process run exited %d, want 1:\n%s", code, out)
+	}
+
+	ckpt := filepath.Join(dir, "spawn.ckpt")
+	keys := filepath.Join(dir, "spawn-keys.txt")
+	mcode, mout := runCLIEnv(t, []string{spawnTestKillEnv + "=1"},
+		fmt.Sprintf("%s -spawn 3 -checkpoint %s -keys-out %s", campaign, ckpt, keys))
+	if mcode != 1 {
+		t.Fatalf("orchestrator exited %d, want 1:\n%s", mcode, mout)
+	}
+	if !strings.Contains(mout, "re-spawning with -resume") {
+		t.Fatalf("orchestrator never re-spawned the killed shard:\n%s", mout)
+	}
+	if !strings.Contains(mout, "resumed:") {
+		t.Errorf("re-spawned shard did not resume from its checkpoint:\n%s", mout)
+	}
+	ref, err := os.ReadFile(refKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Errorf("merged keys diverge after kill+respawn:\nref:\n%s\nmerged:\n%s", ref, got)
+	}
+}

@@ -105,6 +105,20 @@ type Config struct {
 	// and the reports that post-run newly added. Calls are serialized but
 	// may come from worker goroutines in parallel mode.
 	OnPostRunComplete func(failurePoint int, fresh []Report)
+	// ShardCount/ShardIndex partition a campaign's failure points across
+	// cooperating processes: shard i executes the post-run of failure
+	// point fp iff fp % ShardCount == ShardIndex. Every shard traces the
+	// identical (deterministic) pre-failure execution and injects and
+	// counts every failure point, so failure-point numbering agrees across
+	// shards, each shard's report set is a sound subset of the
+	// single-process result, and the union over all shards converges to
+	// it. Points owned by other shards are accounted in
+	// Result.OtherShardFailurePoints — resumed elsewhere, like
+	// CompletedFailurePoints, not degradation. ShardCount 0 or 1 disables
+	// sharding.
+	ShardCount int
+	// ShardIndex is this process's shard in [0, ShardCount).
+	ShardIndex int
 }
 
 // defaultMaxPostOps bounds a post-failure run; real recoveries in the
@@ -161,6 +175,12 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.ShardCount < 0 {
+		return nil, fmt.Errorf("core: negative ShardCount %d", cfg.ShardCount)
+	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("core: ShardIndex %d outside [0, %d)", cfg.ShardIndex, cfg.ShardCount)
 	}
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = defaultPoolSize
@@ -245,6 +265,11 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		ResumedFailurePoints: r.resumedFPs,
 		HarnessFaults:        r.harnessFaults,
 	}
+	if cfg.ShardCount > 1 {
+		res.ShardCount = cfg.ShardCount
+		res.ShardIndex = cfg.ShardIndex
+		res.OtherShardFailurePoints = r.otherShardFPs
+	}
 	res.trace = r.keptTrace
 	return res, nil
 }
@@ -310,6 +335,7 @@ type runner struct {
 	skippedFPs    int
 	abandonedRuns int
 	resumedFPs    int
+	otherShardFPs int
 	harnessFaults []string
 
 	// cbMu serializes OnPostRunComplete callbacks across workers.
@@ -464,6 +490,15 @@ func (r *runner) injectFailure() {
 	r.opsSinceFP = 0
 	r.recordLocked(trace.Entry{Kind: trace.FailurePoint, Stage: trace.PreFailure})
 	if r.target.Post == nil {
+		return
+	}
+	if r.cfg.ShardCount > 1 && fpID%r.cfg.ShardCount != r.cfg.ShardIndex {
+		// Sharded campaign: this failure point's post-run belongs to
+		// another shard, which replays the identical pre-failure execution
+		// and arrives at the same fpID. Delegated, not degraded.
+		r.degradeMu.Lock()
+		r.otherShardFPs++
+		r.degradeMu.Unlock()
 		return
 	}
 	if r.cfg.CompletedFailurePoints[fpID] {

@@ -190,6 +190,14 @@ type Result struct {
 	// ResumedFailurePoints counts failure points skipped because a
 	// checkpoint (Config.CompletedFailurePoints) already covered them.
 	ResumedFailurePoints int
+	// ShardCount and ShardIndex echo the sharding configuration of the
+	// run (both zero when the campaign was not sharded), and
+	// OtherShardFailurePoints counts the failure points whose post-runs
+	// were delegated to other shards. Like ResumedFailurePoints, a
+	// delegated point is covered elsewhere, not a degradation.
+	ShardCount              int
+	ShardIndex              int
+	OtherShardFailurePoints int
 	// HarnessFaults describes each quarantined failure point.
 	HarnessFaults []string
 
@@ -245,6 +253,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "time: %.3fs pre-failure, %.3fs post-failure\n", r.PreSeconds, r.PostSeconds)
 	if r.ResumedFailurePoints > 0 {
 		fmt.Fprintf(&b, "resumed: %d failure point(s) reused from a checkpoint\n", r.ResumedFailurePoints)
+	}
+	if r.ShardCount > 1 {
+		fmt.Fprintf(&b, "shard %d/%d: %d failure point(s) delegated to other shards\n",
+			r.ShardIndex, r.ShardCount, r.OtherShardFailurePoints)
 	}
 	if r.AbandonedPostRuns > 0 {
 		fmt.Fprintf(&b, "abandoned: %d post-failure run(s) exceeded their deadline\n", r.AbandonedPostRuns)
