@@ -225,6 +225,75 @@ func BenchmarkAblationFailurePointElision(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSnapshots compares detection per Table 4 workload with
+// the incremental dirty-page snapshots and copy-on-write post images
+// (default) against full image copies per failure point
+// (DisableIncrementalSnapshots, the mechanism as the paper states it).
+func BenchmarkAblationSnapshots(b *testing.B) {
+	for _, w := range bench.Table4() {
+		w := w
+		for _, ablate := range []bool{false, true} {
+			name, ablate := "Incremental", ablate
+			if ablate {
+				name = "FullCopy"
+			}
+			b.Run(w.Name+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.Run(core.Config{
+						PoolSize:                    bench.DefaultPoolSize,
+						DisableIncrementalSnapshots: ablate,
+					}, w.Target(bench.Fig12Config))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotPoolSweep sweeps the pool size under a fixed small
+// working set. The per-failure-point snapshot cost is what separates the
+// two schemes: incremental snapshots pay for the delta (near-flat in the
+// pool size), full image copies pay for the whole pool (linear).
+func BenchmarkSnapshotPoolSweep(b *testing.B) {
+	target := core.Target{
+		Name: "sweep",
+		Pre: func(c *core.Ctx) error {
+			p := c.Pool()
+			for i := uint64(0); i < 64; i++ {
+				p.Store64(i*8, i)
+				p.Persist(i*8, 8)
+			}
+			return nil
+		},
+		Post: func(c *core.Ctx) error {
+			c.Pool().Load64(0)
+			return nil
+		},
+	}
+	for _, mib := range []int{1, 4, 16, 64} {
+		for _, ablate := range []bool{false, true} {
+			name := fmt.Sprintf("pool=%dMiB/incremental", mib)
+			if ablate {
+				name = fmt.Sprintf("pool=%dMiB/fullcopy", mib)
+			}
+			mib, ablate := mib, ablate
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.Run(core.Config{
+						PoolSize:                    uint64(mib) << 20,
+						DisableIncrementalSnapshots: ablate,
+					}, target)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // Substrate micro benchmarks.
 
 // BenchmarkPmemOps measures the simulated device primitives.

@@ -11,6 +11,11 @@
 //	xfdbench -experiment newbugs    §6.3.2: the four new bugs
 //	xfdbench -experiment all        everything, in paper order
 //
+// It also converts `go test -bench` output into the machine-readable
+// baseline format (BENCH_baseline.json at the repo root):
+//
+//	go test -bench . -benchtime=1x -run '^$' . | xfdbench -parse-bench - -o BENCH_baseline.json
+//
 // Absolute times differ from the paper's Optane testbed; the shapes —
 // post-failure time dominating, linear scaling in failure points, and the
 // detection-capability gaps — are the reproduction targets (see
@@ -31,6 +36,7 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all", "fig12a | fig12b | fig13 | table1 | table4 | table5 | coverage | newbugs | all")
 		outPath    = flag.String("o", "", "write results to this file instead of stdout")
+		parseBench = flag.String("parse-bench", "", "parse `go test -bench` output from this file (- for stdin) into baseline JSON instead of running experiments")
 	)
 	flag.Parse()
 
@@ -42,6 +48,26 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *parseBench != "" {
+		var in io.Reader = os.Stdin
+		if *parseBench != "-" {
+			f, err := os.Open(*parseBench)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			in = f
+		}
+		base, err := bench.ParseGoBench(in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := base.WriteJSON(out); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	experiments := map[string]func(io.Writer) error{

@@ -71,6 +71,7 @@ func realMain(args []string) int {
 		poolMB      = fs.Int("pool-mb", 4, "PM pool size in MiB")
 		workers     = fs.Int("workers", 1, "post-failure worker goroutines (>1 enables parallel detection)")
 		postTimeout = fs.Duration("post-timeout", 0, "wall-clock deadline per post-failure run (0 = none)")
+		fullCopy    = fs.Bool("full-copy-snapshots", false, "copy the full PM image at every failure point instead of incremental dirty-page snapshots (ablation)")
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
 		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
@@ -121,10 +122,11 @@ func realMain(args []string) int {
 	}
 
 	cfg := core.Config{
-		PoolSize:         uint64(*poolMB) << 20,
-		MaxFailurePoints: *maxFP,
-		Workers:          *workers,
-		PostRunTimeout:   *postTimeout,
+		PoolSize:                    uint64(*poolMB) << 20,
+		MaxFailurePoints:            *maxFP,
+		Workers:                     *workers,
+		PostRunTimeout:              *postTimeout,
+		DisableIncrementalSnapshots: *fullCopy,
 	}
 	if *shards > 1 {
 		cfg.ShardCount = *shards

@@ -10,15 +10,20 @@ import (
 	"github.com/pmemgo/xfdetector/internal/workloads"
 )
 
-// TestParallelEquivalenceAcrossTable4 pins the parallel engine's
-// equivalence contract on every evaluated program of the paper's Table 4:
-// for all seven workloads — each of the five micro benchmarks with a
-// seeded bug from its validation suite, Redis with the paper's Bug 3, and
-// Memcached clean — a Workers>1 run must produce exactly the sequential
-// run's report-key set, failure-point count, post-run count and benign
-// byte count. Where a bug is seeded, the expected class must actually be
-// detected, so the equivalence is established on non-trivial report sets.
-func TestParallelEquivalenceAcrossTable4(t *testing.T) {
+// table4Case is one Table 4 workload with (for all but Memcached) a
+// seeded bug whose detection makes an equivalence comparison non-trivial.
+type table4Case struct {
+	name      string
+	fault     string // documentation: the seeded fault, if any
+	wantClass core.BugClass
+	wantBug   bool
+	target    func() core.Target
+}
+
+// table4Cases builds the seven-workload equivalence table of the paper's
+// Table 4: each of the five micro benchmarks with a seeded bug from its
+// validation suite, Redis with the paper's Bug 3, and Memcached clean.
+func table4Cases(t *testing.T) []table4Case {
 	cfg := workloads.TargetConfig{InitSize: 2, TestSize: 2, Removes: 1, PostOps: true}
 	micro := func(workload, fault string) func() core.Target {
 		return func() core.Target {
@@ -31,13 +36,7 @@ func TestParallelEquivalenceAcrossTable4(t *testing.T) {
 			return workloads.DetectionTarget(m, c)
 		}
 	}
-	tests := []struct {
-		name      string
-		fault     string // documentation: the seeded fault, if any
-		wantClass core.BugClass
-		wantBug   bool
-		target    func() core.Target
-	}{
+	return []table4Case{
 		{"B-Tree", "btree-skip-add-leaf", core.CrossFailureRace, true,
 			micro("B-Tree", "btree-skip-add-leaf")},
 		{"C-Tree", "ctree-skip-add-count", core.CrossFailureRace, true,
@@ -53,7 +52,16 @@ func TestParallelEquivalenceAcrossTable4(t *testing.T) {
 		{"Memcached", "", 0, false,
 			func() core.Target { return MemcachedTarget(cfg) }},
 	}
-	for _, tt := range tests {
+}
+
+// TestParallelEquivalenceAcrossTable4 pins the parallel engine's
+// equivalence contract on every evaluated program of the paper's Table 4:
+// a Workers>1 run must produce exactly the sequential run's report-key
+// set, failure-point count, post-run count and benign byte count. Where a
+// bug is seeded, the expected class must actually be detected, so the
+// equivalence is established on non-trivial report sets.
+func TestParallelEquivalenceAcrossTable4(t *testing.T) {
+	for _, tt := range table4Cases(t) {
 		tt := tt
 		t.Run(tt.name, func(t *testing.T) {
 			t.Parallel()

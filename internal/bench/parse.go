@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Machine-readable benchmark baselines.
+//
+// `go test -bench` output is a stable line-oriented text format, but
+// comparing runs (a perf regression gate, or the before/after tables in
+// EXPERIMENTS.md) wants structured data. ParseGoBench converts the text
+// into a BenchBaseline, which cmd/xfdbench serializes as JSON — the
+// checked-in BENCH_baseline.json at the repo root records the numbers the
+// current tree produced on the reference machine.
+
+// BenchResult is one benchmark line: its name, iteration count, ns/op,
+// and any custom metrics (pre-s/op, failpoints/op, B/op, ...).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchBaseline is a parsed `go test -bench` run.
+type BenchBaseline struct {
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	Package    string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// ParseGoBench reads `go test -bench` output and returns the structured
+// baseline. Non-benchmark lines (test chatter, PASS/ok trailers) are
+// skipped; a stream with no benchmark lines at all is an error, so a
+// silently-empty baseline cannot be committed.
+func ParseGoBench(r io.Reader) (*BenchBaseline, error) {
+	base := &BenchBaseline{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			base.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			base.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			base.Benchmarks = append(base.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark result lines in input")
+	}
+	return base, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-8   100   12345 ns/op   0.5 pre-s/op   3 failpoints/op
+//
+// The fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line string) (BenchResult, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchResult{}, fmt.Errorf("bench: malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("bench: bad iteration count in %q: %v", line, err)
+	}
+	res := BenchResult{Name: f[0], Iterations: iters}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("bench: bad metric value in %q: %v", line, err)
+		}
+		if f[i+1] == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = map[string]float64{}
+		}
+		res.Metrics[f[i+1]] = v
+	}
+	return res, nil
+}
+
+// WriteJSON serializes the baseline as indented, diff-friendly JSON.
+func (b *BenchBaseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/pmemgo/xfdetector
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig12a/B-Tree-8         	     100	    123456 ns/op	         0.000100 pre-s/op	         0.000900 post-s/op	        12.00 failpoints/op
+BenchmarkSnapshotPoolSweep/pool=1MiB/incremental         	       1	   2276148 ns/op
+PASS
+ok  	github.com/pmemgo/xfdetector	22.208s
+`
+
+func TestParseGoBench(t *testing.T) {
+	base, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GoOS != "linux" || base.GoArch != "amd64" || base.Package != "github.com/pmemgo/xfdetector" {
+		t.Fatalf("header mis-parsed: %+v", base)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(base.Benchmarks))
+	}
+	b0 := base.Benchmarks[0]
+	if b0.Name != "BenchmarkFig12a/B-Tree-8" || b0.Iterations != 100 || b0.NsPerOp != 123456 {
+		t.Fatalf("first benchmark mis-parsed: %+v", b0)
+	}
+	if b0.Metrics["failpoints/op"] != 12 || b0.Metrics["pre-s/op"] != 0.0001 {
+		t.Fatalf("custom metrics mis-parsed: %+v", b0.Metrics)
+	}
+	b1 := base.Benchmarks[1]
+	if b1.Name != "BenchmarkSnapshotPoolSweep/pool=1MiB/incremental" || b1.NsPerOp != 2276148 {
+		t.Fatalf("second benchmark mis-parsed: %+v", b1)
+	}
+	if len(b1.Metrics) != 0 {
+		t.Fatalf("unexpected metrics: %+v", b1.Metrics)
+	}
+
+	var buf bytes.Buffer
+	if err := base.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchBaseline
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if len(round.Benchmarks) != 2 || round.CPU != base.CPU {
+		t.Fatalf("round-trip mismatch: %+v", round)
+	}
+}
+
+func TestParseGoBenchRejectsEmptyAndMalformed(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkX 12\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ParseGoBench(strings.NewReader("BenchmarkX abc 5 ns/op\n")); err == nil {
+		t.Fatal("bad iteration count accepted")
+	}
+}

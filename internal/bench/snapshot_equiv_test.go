@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
+)
+
+// TestSnapshotEquivalenceAcrossTable4 pins the incremental-snapshot/COW
+// optimization's correctness bar on the seven-workload table: a run with
+// Config.DisableIncrementalSnapshots (full image copy per failure point,
+// exactly as the paper describes the mechanism) must produce the same
+// report-key set and counters as the optimized default, sequentially and
+// under workers. Where a bug is seeded, the expected class must actually
+// be detected, so the equivalence is established on non-trivial report
+// sets.
+func TestSnapshotEquivalenceAcrossTable4(t *testing.T) {
+	for _, tt := range table4Cases(t) {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			base, err := core.Run(core.Config{PoolSize: DefaultPoolSize}, tt.target())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt.wantBug && base.Count(tt.wantClass) == 0 {
+				t.Fatalf("seeded fault %q not detected with incremental snapshots:\n%s", tt.fault, base)
+			}
+			if !tt.wantBug && !base.Clean() {
+				t.Fatalf("expected a clean run:\n%s", base)
+			}
+			for _, workers := range []int{1, 2} {
+				ablated, err := core.Run(core.Config{
+					PoolSize:                    DefaultPoolSize,
+					Workers:                     workers,
+					DisableIncrementalSnapshots: true,
+				}, tt.target())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := dedupKeys(ablated), dedupKeys(base); !stringSlicesEqual(got, want) {
+					t.Errorf("workers=%d: ablated report keys diverge\noptimized: %v\nfull-copy: %v",
+						workers, want, got)
+				}
+				for _, c := range []struct {
+					field     string
+					got, base interface{}
+				}{
+					{"failure-points", ablated.FailurePoints, base.FailurePoints},
+					{"post-runs", ablated.PostRuns, base.PostRuns},
+					{"benign-reads", ablated.BenignReads, base.BenignReads},
+					{"post-entries", ablated.PostEntries, base.PostEntries},
+				} {
+					if fmt.Sprint(c.got) != fmt.Sprint(c.base) {
+						t.Errorf("workers=%d: %s = %v, want %v", workers, c.field, c.got, c.base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotMutationCaughtByTable4 proves the seven-workload table has
+// teeth against snapshot-layer soundness regressions: with a deliberately
+// stale dirty bitmap (incremental snapshots reuse outdated base pages) or
+// a torn COW privatization, at least one workload must diverge from its
+// unmutated run — real recovery code branches on the bytes it reads, so
+// corrupted post-failure images change reports, entry counts, or crash
+// the post stage into a PostFailureFault.
+//
+// Must not run in parallel with other tests: the mutation switches are
+// package-level toggles in internal/pmem.
+func TestSnapshotMutationCaughtByTable4(t *testing.T) {
+	cases := table4Cases(t)
+	type summary struct {
+		keys    []string
+		fps     int
+		posts   int
+		benign  uint64
+		entries int
+	}
+	baselines := make(map[string]summary)
+	for _, tt := range cases {
+		res, err := core.Run(core.Config{PoolSize: DefaultPoolSize}, tt.target())
+		if err != nil {
+			t.Fatal(err)
+		}
+		baselines[tt.name] = summary{dedupKeys(res), res.FailurePoints, res.PostRuns, res.BenignReads, res.PostEntries}
+	}
+	for _, mut := range []struct {
+		name string
+		set  func(bool)
+	}{
+		{"stale-dirty-bitmap", pmem.SetStaleDirtyForTest},
+		{"torn-cow-page", pmem.SetTornCOWForTest},
+	} {
+		t.Run(mut.name, func(t *testing.T) {
+			mut.set(true)
+			defer mut.set(false)
+			caught := 0
+			for _, tt := range cases {
+				res, err := core.Run(core.Config{PoolSize: DefaultPoolSize}, tt.target())
+				if err != nil {
+					// A harness-level failure under mutation is itself a
+					// divergence from the clean baseline run.
+					caught++
+					continue
+				}
+				b := baselines[tt.name]
+				if !stringSlicesEqual(dedupKeys(res), b.keys) ||
+					res.FailurePoints != b.fps || res.PostRuns != b.posts ||
+					res.BenignReads != b.benign || res.PostEntries != b.entries {
+					caught++
+				}
+			}
+			if caught == 0 {
+				t.Fatalf("seeded %s mutation went undetected by all %d workloads", mut.name, len(cases))
+			}
+			t.Logf("%s caught by %d/%d workloads", mut.name, caught, len(cases))
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// entryAccountingTarget has a post-failure stage long enough (>64 traced
+// operations) that the old parallel sink's amortized 64-op chunk flushing
+// would leak chunks from a voided attempt, and the old sequential sink
+// would leak every voided-attempt entry.
+func entryAccountingTarget() Target {
+	return Target{
+		Name: "entry-accounting",
+		Setup: func(c *Ctx) error {
+			c.Pool().Store64(0, 0xA11CE)
+			return nil
+		},
+		Pre: func(c *Ctx) error {
+			p := c.Pool()
+			for i := 0; i < 3; i++ {
+				p.Store64(8, uint64(i))
+				p.Persist(8, 8)
+			}
+			return nil
+		},
+		Post: func(c *Ctx) error {
+			p := c.Pool()
+			p.Load64(0)
+			for i := uint64(0); i < 128; i++ {
+				p.Store8(64+i, byte(i))
+			}
+			return nil
+		},
+	}
+}
+
+// TestVoidedAttemptEntriesNotCounted pins the unified post-entry
+// accounting: an attempt voided by a harness fault is retried in full, so
+// its partial entries must not appear in Result.PostEntries. Before the
+// unification, the sequential sink counted every voided-attempt entry live
+// and the parallel sink leaked its flushed 64-op chunks.
+func TestVoidedAttemptEntriesNotCounted(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := Config{Workers: workers}
+			baseline, err := Run(cfg, entryAccountingTarget())
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			if baseline.PostEntries == 0 || baseline.PostRuns == 0 {
+				t.Fatalf("baseline recorded nothing: %+v", baseline)
+			}
+
+			// Fault the trace sink exactly once, mid-attempt, deep enough
+			// that the voided attempt has recorded well over one amortized
+			// 64-op chunk.
+			var postSeen int64
+			cfg.FaultHooks = &pmem.FaultHooks{Sink: func(e trace.Entry) error {
+				if e.Stage != trace.PostFailure {
+					return nil
+				}
+				if atomic.AddInt64(&postSeen, 1) == 100 {
+					return errors.New("trace spool hiccup")
+				}
+				return nil
+			}}
+			faulted, err := Run(cfg, entryAccountingTarget())
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			if faulted.SkippedFailurePoints != 0 || len(faulted.HarnessFaults) != 0 {
+				t.Fatalf("single fault must be absorbed by the retry, got %+v", faulted)
+			}
+			if faulted.PostRuns != baseline.PostRuns {
+				t.Fatalf("PostRuns = %d, want %d", faulted.PostRuns, baseline.PostRuns)
+			}
+			if faulted.PostEntries != baseline.PostEntries {
+				t.Errorf("PostEntries = %d, want %d (voided attempt leaked entries)",
+					faulted.PostEntries, baseline.PostEntries)
+			}
+			if faulted.BenignReads != baseline.BenignReads {
+				t.Errorf("BenignReads = %d, want %d", faulted.BenignReads, baseline.BenignReads)
+			}
+			if bk, fk := sortedKeys(baseline), sortedKeys(faulted); !equalKeys(bk, fk) {
+				t.Errorf("report keys diverged: baseline %v, faulted %v", bk, fk)
+			}
+		})
+	}
+}

@@ -61,6 +61,11 @@ type Config struct {
 	// skips failure points between ordering points with no PM operations
 	// in between. For ablation measurements.
 	DisableFailurePointElision bool
+	// DisableIncrementalSnapshots turns off delta snapshots and
+	// copy-on-write post-failure pools: every failure point then performs
+	// the original two full O(PoolSize) image copies. For ablation
+	// measurements; the report set is identical either way.
+	DisableIncrementalSnapshots bool
 	// Workers enables parallelized detection (the future work of §6.2.1):
 	// with Workers > 1, post-failure executions run on that many worker
 	// goroutines, each replaying the pre-failure trace into a private
@@ -190,6 +195,7 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		r.reports.add(rep)
 	}
 	r.pool = pmem.New(t.Name, int(cfg.PoolSize))
+	r.pool.SetIncrementalSnapshots(!cfg.DisableIncrementalSnapshots)
 	r.pool.SetFaultHooks(cfg.FaultHooks)
 	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
 	if cfg.Mode == ModeDetect && cfg.Workers > 1 {
@@ -510,7 +516,7 @@ func (r *runner) injectFailure() {
 		return
 	}
 	if r.engine != nil {
-		img, err := r.snapshotWithRetry()
+		snap, err := r.snapshotWithRetry()
 		if err != nil {
 			r.noteQuarantined(fpID, err)
 			return
@@ -521,7 +527,7 @@ func (r *runner) injectFailure() {
 			id:       fpID,
 			tracePos: pos,
 			entries:  r.keptTrace.Slice(0, pos),
-			image:    img,
+			snap:     snap,
 		})
 		return
 	}
@@ -532,10 +538,10 @@ func (r *runner) injectFailure() {
 
 // snapshotWithRetry copies the PM image, retrying a harness-faulted copy
 // once before giving up.
-func (r *runner) snapshotWithRetry() ([]byte, error) {
-	img, err := r.pool.SnapshotErr()
+func (r *runner) snapshotWithRetry() (*pmem.Snapshot, error) {
+	snap, err := r.pool.SnapshotErr()
 	if err == nil {
-		return img, nil
+		return snap, nil
 	}
 	return r.pool.SnapshotErr()
 }
@@ -553,15 +559,17 @@ type postOutcome struct {
 	cancelled bool
 	// benign is the checker's benign byte count (zero for void attempts).
 	benign uint64
-	// entsRem is the worker-side unflushed trace-entry remainder.
-	entsRem int
+	// ents is the number of trace entries the attempt recorded (zero for
+	// void attempts: a harness-faulted attempt is retried in full, so
+	// counting its partial entries would double-count them).
+	ents int
 	// fresh lists the reports this attempt newly added to the global set.
 	fresh []Report
 }
 
 // classifyPost folds a finished post-stage call into an outcome,
 // separating harness-internal faults from target-level ones.
-func classifyPost(err error, benign uint64, entsRem int, fresh []Report) postOutcome {
+func classifyPost(err error, benign uint64, ents int, fresh []Report) postOutcome {
 	var hf *pmem.HarnessFault
 	if errors.As(err, &hf) {
 		// Reports added before the fault stay in the global set (they are
@@ -569,7 +577,7 @@ func classifyPost(err error, benign uint64, entsRem int, fresh []Report) postOut
 		// benign/entry statistics of a void attempt are discarded.
 		return postOutcome{harness: err, fresh: fresh}
 	}
-	return postOutcome{err: err, benign: benign, entsRem: entsRem, fresh: fresh}
+	return postOutcome{err: err, benign: benign, ents: ents, fresh: fresh}
 }
 
 // abandonSignal unwinds an abandoned post-run goroutine at its next PM
@@ -612,36 +620,70 @@ func (g *postGate) enter() {
 
 func (r *runner) runPost(fpID int) {
 	r.postRuns++
-	out := r.postAttempt(fpID)
-	if out.harness != nil {
-		prevFresh := out.fresh
-		out = r.postAttempt(fpID) // retry once
-		if out.harness != nil {
-			r.noteQuarantined(fpID, out.harness)
-			return
+	out, ok := r.runAttempts(fpID, func() postOutcome {
+		// The image copy contains ALL updates, including non-persisted
+		// ones (footnote 3); the shadow PM is what distinguishes them.
+		// Sequential mode snapshots per attempt so the fault hook sees one
+		// consultation per attempt; the retry's snapshot is cheap — the
+		// suspended pre-failure stage dirtied nothing in between.
+		snap, err := r.pool.SnapshotErr()
+		if err != nil {
+			return postOutcome{harness: err}
 		}
-		out.fresh = append(prevFresh, out.fresh...)
+		return r.attemptPost(fpID, snap, r.sh)
+	})
+	if !ok {
+		return
 	}
 	r.benign += out.benign
+	r.postEntries += out.ents
 	r.finishPost(fpID, out)
 }
 
-// postAttempt executes one post-failure run for fpID on a fresh copy of the
-// PM image, inline when no deadline is configured, on its own goroutine
-// under PostRunTimeout otherwise.
-func (r *runner) postAttempt(fpID int) postOutcome {
-	// The image copy contains ALL updates, including non-persisted ones
-	// (footnote 3); the shadow PM is what distinguishes them.
-	img, err := r.pool.SnapshotErr()
-	if err != nil {
-		return postOutcome{harness: err}
+// runAttempts applies the retry-once-then-quarantine policy shared by the
+// sequential and parallel paths: a harness-faulted attempt is void and
+// retried once; a second fault quarantines the failure point (ok=false).
+// Reports a void attempt added before faulting are kept — they are real
+// observations — but its entry/benign statistics are discarded.
+func (r *runner) runAttempts(fpID int, attempt func() postOutcome) (postOutcome, bool) {
+	out := attempt()
+	if out.harness != nil {
+		prevFresh := out.fresh
+		out = attempt() // retry once
+		if out.harness != nil {
+			r.noteQuarantined(fpID, out.harness)
+			return postOutcome{}, false
+		}
+		out.fresh = append(prevFresh, out.fresh...)
 	}
-	post := pmem.FromImage(r.pool.Name()+"@post", img)
+	return out, true
+}
+
+// newPostPool spawns the post-failure pool for one attempt: a copy-on-write
+// view over the shared snapshot normally, a full flat copy under the
+// ablation knob. A retried attempt calls it again, dropping the faulted
+// attempt's COW overlay.
+func (r *runner) newPostPool(snap *pmem.Snapshot) *pmem.Pool {
+	var post *pmem.Pool
+	if r.cfg.DisableIncrementalSnapshots {
+		post = pmem.FromImage(r.pool.Name()+"@post", snap.Bytes())
+	} else {
+		post = pmem.FromSnapshot(r.pool.Name()+"@post", snap)
+	}
 	post.SetFaultHooks(r.cfg.FaultHooks)
 	post.SetStage(trace.PostFailure)
 	post.SetIPCapture(!r.cfg.DisableIPCapture)
-	checker := r.sh.BeginPostCheck()
-	sink := &postSink{r: r, checker: checker, fpID: fpID}
+	return post
+}
+
+// attemptPost executes one post-failure run for fpID on a view of snap,
+// checking it against sh — the run's shadow in sequential mode, the
+// worker's private shadow in parallel mode. It runs inline when no deadline
+// is configured, on its own goroutine under PostRunTimeout otherwise.
+func (r *runner) attemptPost(fpID int, snap *pmem.Snapshot, sh *shadow.PM) postOutcome {
+	post := r.newPostPool(snap)
+	checker := sh.BeginPostCheck()
+	sink := &postSink{r: r, checker: checker, sh: sh, fpID: fpID}
 	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: fpID}
 	if r.target.ExplicitRoI {
 		// Outside the post-failure RoI nothing is checked; RoIBegin
@@ -651,23 +693,23 @@ func (r *runner) postAttempt(fpID int) postOutcome {
 	}
 	if r.cfg.PostRunTimeout <= 0 {
 		post.SetSink(sink)
-		return classifyPost(r.safePost(ctx), checker.Benign, 0, sink.fresh)
+		return classifyPost(safePostCall(r.target.Post, ctx), checker.Benign, sink.ents, sink.fresh)
 	}
 	gate := newPostGate()
 	sink.gate = gate
 	ctx.gate = gate
 	post.SetSink(sink)
 	done := make(chan error, 1)
-	go func() { done <- r.safePost(ctx) }()
-	return awaitPost(r, gate, done, func(err error) postOutcome {
-		return classifyPost(err, checker.Benign, 0, sink.fresh)
-	}, func() []Report { return sink.fresh })
+	go func() { done <- safePostCall(r.target.Post, ctx) }()
+	return awaitPost(r, gate, done, sink, func(err error) postOutcome {
+		return classifyPost(err, checker.Benign, sink.ents, sink.fresh)
+	})
 }
 
 // awaitPost waits for a timed post-run: completion, deadline expiry, or
-// cancellation, whichever comes first. freshFn is only called after
-// abandon(), when the runaway goroutine can no longer append.
-func awaitPost(r *runner, gate *postGate, done <-chan error, classify func(error) postOutcome, freshFn func() []Report) postOutcome {
+// cancellation, whichever comes first. The sink is only read after
+// abandon(), when the runaway goroutine can no longer record into it.
+func awaitPost(r *runner, gate *postGate, done <-chan error, sink *postSink, classify func(error) postOutcome) postOutcome {
 	timer := time.NewTimer(r.cfg.PostRunTimeout)
 	defer timer.Stop()
 	select {
@@ -681,7 +723,7 @@ func awaitPost(r *runner, gate *postGate, done <-chan error, classify func(error
 		default:
 		}
 		gate.abandon()
-		return postOutcome{abandoned: true, fresh: freshFn()}
+		return postOutcome{abandoned: true, ents: sink.ents, fresh: sink.fresh}
 	case <-r.ctx.Done():
 		gate.abandon()
 		return postOutcome{cancelled: true}
@@ -714,20 +756,6 @@ func (r *runner) finishPost(fpID int, out postOutcome) {
 	r.completeFP(fpID, out.fresh)
 }
 
-// safePost runs the post-failure stage, converting panics into
-// post-failure faults: a crashing recovery (the paper's segmentation-fault
-// scenario in Fig. 1, or its Bug 4 failed pool open) is itself an
-// observable cross-failure bug, as is one that spins past its operation
-// budget.
-func (r *runner) safePost(ctx *Ctx) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = classifyPostPanic(p)
-		}
-	}()
-	return r.target.Post(ctx)
-}
-
 // classifyPostPanic maps a recovered post-stage panic to its error (nil for
 // the signals that mean "stop silently").
 func classifyPostPanic(p any) error {
@@ -748,10 +776,15 @@ func classifyPostPanic(p any) error {
 }
 
 // postSink receives the post-failure trace of one failure point and checks
-// it against the shadow PM.
+// it against the shadow PM. The same sink serves the sequential path and
+// the parallel workers; sh is whichever shadow the attempt checks against.
+// It counts entries only locally (ents): the attempt's caller folds them
+// into the shared statistics iff the attempt completes, so a void
+// (harness-faulted) attempt leaks nothing into Result.PostEntries.
 type postSink struct {
 	r       *runner
 	checker *shadow.PostChecker
+	sh      *shadow.PM
 	fpID    int
 	ents    int
 	// gate is non-nil on timed post-runs; fresh collects the reports this
@@ -768,12 +801,10 @@ func (s *postSink) Record(e trace.Entry) {
 		s.gate.enter()
 		defer s.gate.mu.Unlock()
 	}
-	r := s.r
 	s.ents++
-	if s.ents > r.maxPostOps() {
+	if s.ents > s.r.maxPostOps() {
 		panic(postBudgetExceeded{ops: s.ents})
 	}
-	r.postEntries++
 	switch e.Kind {
 	case trace.Write, trace.NTStore:
 		// Post-failure writes overwrite the old data; the range becomes
@@ -796,13 +827,13 @@ func (s *postSink) Record(e trace.Entry) {
 				WriterIP:     f.WriterIP,
 				FailurePoint: s.fpID,
 			}
-			if r.reports.add(rep) {
+			if s.r.reports.add(rep) {
 				s.fresh = append(s.fresh, rep)
 			}
 		}
 	case trace.RegCommitVar, trace.RegCommitRange:
 		// Recovery code may (re-)register commit variables, e.g. when
 		// reopening a pool; registrations are idempotent.
-		r.sh.Apply(e)
+		s.sh.Apply(e)
 	}
 }

@@ -19,15 +19,16 @@ import (
 //
 // With Config.Workers > 1, the fence hook no longer runs the post-failure
 // stage inline. Instead it captures a work item — the failure point's id,
-// the pre-failure trace position, and a copy of the PM image — and hands
-// it to one of W workers, sharded round-robin so each worker sees its
+// the pre-failure trace position, and a snapshot of the PM image — and
+// hands it to one of W workers, sharded round-robin so each worker sees its
 // failure points in increasing trace order. Every worker owns a private
 // shadow PM that it advances by replaying the shared pre-failure trace up
 // to each item's position, reproducing exactly the state the sequential
-// backend would have had; it then executes the post-failure stage on the
-// image copy and checks it against that shadow. Each worker's queue is
-// bounded, so at most a few image copies are in flight per worker and the
-// pre-failure execution back-pressures instead of exhausting memory.
+// backend would have had; it then executes the post-failure stage on a
+// copy-on-write view of the snapshot and checks it against that shadow.
+// Each worker's queue is bounded, so at most a few snapshots are in flight
+// per worker and the pre-failure execution back-pressures instead of
+// exhausting memory.
 //
 // Reports are deduplicated across workers by the same reader/writer key as
 // in sequential mode, so the report set is identical; only discovery order
@@ -37,11 +38,16 @@ import (
 // entries slice is captured on the pre-failure thread: it aliases a stable
 // prefix of the trace's backing array (appends only touch indices beyond
 // it, or reallocate into a fresh array), so workers may read it freely.
+// snap is shared under the analogous COW aliasing contract (pmem's
+// snapshot.go): its pages may also back the root pool's next delta
+// snapshot and other in-flight work items, and every reader treats them as
+// immutable — each post-run attempt writes only through its own
+// copy-on-write view.
 type fpWork struct {
 	id       int
 	tracePos int
 	entries  []trace.Entry
-	image    []byte
+	snap     *pmem.Snapshot
 }
 
 // parallelEngine coordinates the worker pool of one detection run.
@@ -115,7 +121,10 @@ func (w *postWorker) run() {
 
 // check advances the worker's shadow to the failure point and runs the
 // post-failure stage against it, with the same retry-once-then-quarantine
-// and deadline-abandonment semantics as the sequential path.
+// and deadline-abandonment semantics as the sequential path. The snapshot
+// was taken (with its own retry) at injection time; a worker-side retry
+// builds a fresh copy-on-write view of it, dropping the faulted attempt's
+// overlay.
 func (w *postWorker) check(item fpWork) {
 	r := w.eng.r
 	// Advance this worker's shadow to the failure point by replaying the
@@ -125,57 +134,24 @@ func (w *postWorker) check(item fpWork) {
 	}
 	w.replayed = item.tracePos
 
-	out := w.attempt(item)
-	if out.harness != nil {
-		prevFresh := out.fresh
-		out = w.attempt(item) // retry once
-		if out.harness != nil {
-			r.noteQuarantined(item.id, out.harness)
-			return
-		}
-		out.fresh = append(prevFresh, out.fresh...)
+	out, ok := r.runAttempts(item.id, func() postOutcome {
+		return r.attemptPost(item.id, item.snap, w.sh)
+	})
+	if !ok {
+		return
 	}
 	w.eng.mu.Lock()
 	w.eng.benign += out.benign
-	w.eng.postEnts += out.entsRem
+	w.eng.postEnts += out.ents
 	w.eng.mu.Unlock()
 	r.finishPost(item.id, out)
 }
 
-// attempt executes one post-failure run for the item's failure point,
-// inline or — under Config.PostRunTimeout — on its own goroutine. After
-// abandon() the runaway goroutine is gated away from the worker's shadow,
-// so the worker may keep replaying and checking subsequent failure points.
-func (w *postWorker) attempt(item fpWork) postOutcome {
-	r := w.eng.r
-	post := pmem.FromImage(r.pool.Name()+"@post", item.image)
-	post.SetFaultHooks(r.cfg.FaultHooks)
-	post.SetStage(trace.PostFailure)
-	post.SetIPCapture(!r.cfg.DisableIPCapture)
-	checker := w.sh.BeginPostCheck()
-	sink := &parallelPostSink{eng: w.eng, checker: checker, fpID: item.id, sh: w.sh}
-	ctx := &Ctx{r: r, pool: post, stage: trace.PostFailure, failurePoint: item.id}
-	if r.target.ExplicitRoI {
-		post.EnterSkipDetection()
-		ctx.postOutsideRoI = true
-	}
-	if r.cfg.PostRunTimeout <= 0 {
-		post.SetSink(sink)
-		err := safePostCall(r.target.Post, ctx)
-		return classifyPost(err, checker.Benign, sink.ents%64, sink.fresh)
-	}
-	gate := newPostGate()
-	sink.gate = gate
-	ctx.gate = gate
-	post.SetSink(sink)
-	done := make(chan error, 1)
-	go func() { done <- safePostCall(r.target.Post, ctx) }()
-	return awaitPost(r, gate, done, func(err error) postOutcome {
-		return classifyPost(err, checker.Benign, sink.ents%64, sink.fresh)
-	}, func() []Report { return sink.fresh })
-}
-
-// safePostCall mirrors runner.safePost for worker goroutines.
+// safePostCall runs the post-failure stage, converting panics into
+// post-failure faults: a crashing recovery (the paper's segmentation-fault
+// scenario in Fig. 1, or its Bug 4 failed pool open) is itself an
+// observable cross-failure bug, as is one that spins past its operation
+// budget.
 func safePostCall(post func(*Ctx) error, ctx *Ctx) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -183,66 +159,4 @@ func safePostCall(post func(*Ctx) error, ctx *Ctx) (err error) {
 		}
 	}()
 	return post(ctx)
-}
-
-// parallelPostSink is the worker-side postSink: identical classification,
-// but reports flow through the engine mutex into the shared set.
-type parallelPostSink struct {
-	eng     *parallelEngine
-	checker *shadow.PostChecker
-	sh      *shadow.PM
-	fpID    int
-	ents    int
-	// gate is non-nil on timed post-runs; fresh collects the reports this
-	// post-run newly added (for checkpointing).
-	gate  *postGate
-	fresh []Report
-}
-
-// Record implements pmem.Sink. It runs on the goroutine executing the
-// post-failure stage, so the operation budget unwinds that stage by
-// panicking, exactly as in sequential mode.
-func (s *parallelPostSink) Record(e trace.Entry) {
-	if s.gate != nil {
-		s.gate.enter()
-		defer s.gate.mu.Unlock()
-	}
-	s.ents++
-	if s.ents > s.eng.r.maxPostOps() {
-		panic(postBudgetExceeded{ops: s.ents})
-	}
-	if s.ents%64 == 0 { // amortize the shared counter update
-		s.eng.mu.Lock()
-		s.eng.postEnts += 64
-		s.eng.mu.Unlock()
-	}
-	switch e.Kind {
-	case trace.Write, trace.NTStore:
-		s.checker.OnWrite(e.Addr, e.Size)
-	case trace.Read:
-		if e.SkipDetection {
-			return
-		}
-		for _, f := range s.checker.OnRead(e.Addr, e.Size) {
-			class := CrossFailureRace
-			if f.Class == shadow.ClassSemantic {
-				class = CrossFailureSemantic
-			}
-			rep := Report{
-				Class:        class,
-				Addr:         f.Addr,
-				Size:         f.Size,
-				ReaderIP:     e.IP,
-				WriterIP:     f.WriterIP,
-				FailurePoint: s.fpID,
-			}
-			if s.eng.r.reports.add(rep) {
-				s.fresh = append(s.fresh, rep)
-			}
-		}
-	case trace.RegCommitVar, trace.RegCommitRange:
-		// Worker-local: recovery re-registrations are idempotent and the
-		// pre-failure trace already carries the originals.
-		s.sh.Apply(e)
-	}
 }

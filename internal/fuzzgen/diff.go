@@ -61,9 +61,12 @@ func CheckSeed(seed int64, knob Knob) error {
 // against the oracle:
 //
 //   - ModeDetect sequential: full comparison (keys, failure points, post
-//     runs, benign bytes, trace-entry counts);
+//     runs, benign bytes, trace-entry counts, post-read byte digests);
 //   - ModeDetect with Workers ∈ diffWorkers: same full comparison — the
 //     parallel engine promises the identical report set;
+//   - ModeDetect with incremental snapshots disabled: same full comparison
+//     — the delta-snapshot/copy-on-write optimization must be invisible,
+//     down to the exact bytes every post-failure load observes;
 //   - ModeDetect with failure-point elision disabled: full comparison
 //     against a second oracle evaluation with elision disabled;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
@@ -76,41 +79,46 @@ func CheckProgram(p Program) error {
 	if err != nil {
 		return err
 	}
-	run := func(cfg core.Config) (*core.Result, error) {
+	run := func(cfg core.Config) (*core.Result, *PostReadLog, error) {
 		cfg.PoolSize = p.PoolSize
-		res, err := core.Run(cfg, BuildTarget(p))
+		log := &PostReadLog{}
+		res, err := core.Run(cfg, BuildTargetRecording(p, log))
 		if err != nil {
-			return nil, fmt.Errorf("fuzzgen: %q: harness error: %w", p.Name, err)
+			return nil, nil, fmt.Errorf("fuzzgen: %q: harness error: %w", p.Name, err)
 		}
-		return res, nil
+		return res, log, nil
+	}
+	checkFull := func(config string, want *OracleResult, cfg core.Config) error {
+		res, log, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		if err := compareFull(p, config, want, res); err != nil {
+			return err
+		}
+		return compare(p, config, "post-read-bytes",
+			strings.Join(want.PostReads, " ; "), strings.Join(log.Canonical(), " ; "))
 	}
 
-	seq, err := run(core.Config{})
-	if err != nil {
-		return err
-	}
-	if err := compareFull(p, "sequential", want, seq); err != nil {
+	if err := checkFull("sequential", want, core.Config{}); err != nil {
 		return err
 	}
 	for _, w := range diffWorkers {
-		par, err := run(core.Config{Workers: w})
-		if err != nil {
+		if err := checkFull(fmt.Sprintf("workers=%d", w), want, core.Config{Workers: w}); err != nil {
 			return err
 		}
-		if err := compareFull(p, fmt.Sprintf("workers=%d", w), want, par); err != nil {
-			return err
-		}
+	}
+	if err := checkFull("no-incremental-snapshots", want,
+		core.Config{DisableIncrementalSnapshots: true}); err != nil {
+		return err
 	}
 
 	wantNoElide, err := Evaluate(p, EvalOpts{DisableElision: true})
 	if err != nil {
 		return err
 	}
-	noElide, err := run(core.Config{DisableFailurePointElision: true})
-	if err != nil {
-		return err
-	}
-	if err := compareFull(p, "no-elision", wantNoElide, noElide); err != nil {
+	if err := checkFull("no-elision", wantNoElide,
+		core.Config{DisableFailurePointElision: true}); err != nil {
 		return err
 	}
 	if len(wantNoElide.Keys) != len(want.Keys) {
@@ -120,7 +128,7 @@ func CheckProgram(p Program) error {
 			Want: strings.Join(want.Keys, " ; "), Got: strings.Join(wantNoElide.Keys, " ; ")}
 	}
 
-	traceOnly, err := run(core.Config{Mode: core.ModeTraceOnly})
+	traceOnly, _, err := run(core.Config{Mode: core.ModeTraceOnly})
 	if err != nil {
 		return err
 	}
@@ -134,7 +142,7 @@ func CheckProgram(p Program) error {
 		return err
 	}
 
-	orig, err := run(core.Config{Mode: core.ModeOriginal})
+	orig, _, err := run(core.Config{Mode: core.ModeOriginal})
 	if err != nil {
 		return err
 	}

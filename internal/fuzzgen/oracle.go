@@ -66,6 +66,14 @@ type OracleResult struct {
 	OpEntries   int
 	PreEntries  int
 	PostEntries int
+	// PostReads are the predicted post-failure load digests — one sorted
+	// "fp<k>.<i>:<hex>" entry per non-empty post load per failure point,
+	// the exact shape of PostReadLog.Canonical. They pin footnote 3 of
+	// the paper: the image a post-failure stage runs on contains the
+	// *latest* pre-failure bytes, persisted or not, so the predicted
+	// value of a byte is its last store's pattern (or 0 if never
+	// written), overridden by post-failure stores earlier in the stage.
+	PostReads []string
 }
 
 // Evaluate predicts the outcome of running p under ModeDetect.
@@ -96,6 +104,7 @@ func Evaluate(p Program, opts EvalOpts) (*OracleResult, error) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	sort.Strings(o.postReads)
 	return &OracleResult{
 		Keys:          keys,
 		FailurePoints: o.fps,
@@ -104,6 +113,7 @@ func Evaluate(p Program, opts EvalOpts) (*OracleResult, error) {
 		OpEntries:     o.opEntries,
 		PreEntries:    o.opEntries + o.fps,
 		PostEntries:   o.fps * len(p.Post),
+		PostReads:     o.postReads,
 	}, nil
 }
 
@@ -162,6 +172,7 @@ type oracle struct {
 	benign     uint64
 	opEntries  int
 	keys       map[string]struct{}
+	postReads  []string
 }
 
 func newOracle(p Program, opts EvalOpts) *oracle {
@@ -471,15 +482,19 @@ func eq3Consistent(cv *ovar, writeEpoch, persistEpoch uint32) bool {
 func (o *oracle) failurePoint() error {
 	o.fps++
 	o.opsSinceFP = 0
+	fp := o.fps - 1 // the engine numbers failure points from 0
 	postWritten := map[uint64]bool{}
+	postVal := map[uint64]byte{}
 	checked := map[uint64]bool{}
 	for i, op := range o.p.Post {
 		switch op.Kind {
 		case OpStore, OpNTStore:
 			// Post-failure writes overwrite the old data: the range is
-			// consistent for the rest of this post-failure run.
+			// consistent for the rest of this post-failure run, and later
+			// loads observe the store's pattern byte.
 			for b := op.Addr; b < op.Addr+op.Size; b++ {
 				postWritten[b] = true
+				postVal[b] = postStoreValue(i)
 			}
 		case OpLoad:
 			ip := OpIP("post", i)
@@ -492,11 +507,34 @@ func (o *oracle) failurePoint() error {
 					return err
 				}
 			}
+			if op.Size > 0 {
+				o.postReads = append(o.postReads,
+					fmt.Sprintf("fp%d.%d:%x", fp, i, o.predictLoad(op, postVal)))
+			}
 			// Other post ops (writebacks, fences, transaction markers,
 			// idempotent re-registrations) carry no checking semantics.
 		}
 	}
 	return nil
+}
+
+// predictLoad computes the exact bytes a post-failure load observes:
+// footnote 3 of the paper says the post image is a copy of the full PM
+// image at the failure point — including data not guaranteed persisted —
+// so each byte carries its last pre-failure store's pattern (0 if never
+// stored), unless a post store earlier in the stage overwrote it.
+func (o *oracle) predictLoad(op Op, postVal map[uint64]byte) []byte {
+	buf := make([]byte, op.Size)
+	for j := range buf {
+		b := op.Addr + uint64(j)
+		switch {
+		case postVal[b] != 0:
+			buf[j] = postVal[b]
+		case o.last[b] >= 0:
+			buf[j] = preStoreValue(int(o.last[b]))
+		}
+	}
+	return buf
 }
 
 // classifyRead classifies one first-read of byte b in a post-failure run,

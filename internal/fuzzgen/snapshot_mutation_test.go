@@ -1,0 +1,98 @@
+package fuzzgen
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+)
+
+// snapshotMutants are the deliberate soundness bugs seeded into the
+// snapshot layer: a dirty bitmap that never records writes (incremental
+// snapshots silently reuse stale base pages) and a copy-on-write
+// privatization that tears the page it copies. Both produce wrong BYTES
+// with correct metadata, so only the post-read digest comparison — not
+// the report keys — can catch them.
+var snapshotMutants = []struct {
+	name string
+	set  func(bool)
+}{
+	{"stale-dirty-bitmap", pmem.SetStaleDirtyForTest},
+	{"torn-cow-page", pmem.SetTornCOWForTest},
+}
+
+// TestSnapshotMutationCaught proves the differential suite would notice a
+// snapshot-layer regression. Must not run in parallel with other tests:
+// the mutation switches are package-level toggles in internal/pmem.
+func TestSnapshotMutationCaught(t *testing.T) {
+	const n = 40
+	for seed := int64(0); seed < n; seed++ {
+		if err := CheckSeed(seed, KnobDroppedFence); err != nil {
+			t.Fatalf("pre-mutation sanity failed: %v", err)
+		}
+	}
+	for _, mut := range snapshotMutants {
+		t.Run(mut.name, func(t *testing.T) {
+			mut.set(true)
+			defer mut.set(false)
+			caught := 0
+			for seed := int64(0); seed < n; seed++ {
+				err := CheckSeed(seed, KnobDroppedFence)
+				var m *Mismatch
+				if errors.As(err, &m) {
+					caught++
+				} else if err != nil {
+					t.Fatalf("seed %d: non-mismatch error under mutation: %v", seed, err)
+				}
+			}
+			if caught == 0 {
+				t.Fatalf("seeded %s mutation went undetected on all %d seeds", mut.name, n)
+			}
+			t.Logf("%s caught on %d/%d dropped-fence seeds", mut.name, caught, n)
+		})
+	}
+}
+
+// TestSnapshotMutationCaughtByCorpus requires that the checked-in corpus
+// alone — the deterministic regression tests replayed in CI — catches
+// both snapshot mutants, so the safety net does not depend on which
+// seeds a fuzzing campaign happens to explore.
+func TestSnapshotMutationCaughtByCorpus(t *testing.T) {
+	entries, err := os.ReadDir("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mut := range snapshotMutants {
+		t.Run(mut.name, func(t *testing.T) {
+			mut.set(true)
+			defer mut.set(false)
+			caught := 0
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join("corpus", e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := ParseProgram(data)
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name(), err)
+				}
+				var m *Mismatch
+				if err := CheckProgram(p); errors.As(err, &m) {
+					caught++
+				} else if err != nil {
+					t.Fatalf("%s: non-mismatch error under mutation: %v", e.Name(), err)
+				}
+			}
+			if caught == 0 {
+				t.Fatalf("%s mutation went undetected by the entire corpus", mut.name)
+			}
+			t.Logf("%s caught by %d corpus programs", mut.name, caught)
+		})
+	}
+}

@@ -57,9 +57,9 @@ func (p *Pool) SetFaultHooks(h *FaultHooks) {
 	p.mu.Unlock()
 }
 
-// SnapshotErr is Snapshot with the image-copy fault hook applied: it
+// SnapshotErr is TakeSnapshot with the image-copy fault hook applied: it
 // returns a *HarnessFault instead of an image when the hook fails the copy.
-func (p *Pool) SnapshotErr() ([]byte, error) {
+func (p *Pool) SnapshotErr() (*Snapshot, error) {
 	p.mu.Lock()
 	h := p.faults
 	p.mu.Unlock()
@@ -68,5 +68,5 @@ func (p *Pool) SnapshotErr() ([]byte, error) {
 			return nil, &HarnessFault{Op: "image-copy", Err: err}
 		}
 	}
-	return p.Snapshot(), nil
+	return p.TakeSnapshot(), nil
 }

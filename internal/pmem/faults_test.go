@@ -17,7 +17,7 @@ func TestSnapshotErrFault(t *testing.T) {
 	p.Store64(0, 42)
 
 	img, err := p.SnapshotErr()
-	if err != nil || !bytes.Equal(img, p.Bytes()) {
+	if err != nil || !bytes.Equal(img.Bytes(), p.Bytes()) {
 		t.Fatalf("fault-free SnapshotErr: img mismatch or err %v", err)
 	}
 

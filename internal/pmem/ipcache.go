@@ -1,0 +1,82 @@
+package pmem
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Instruction-pointer resolution.
+//
+// Every traced PM operation records the source location of its caller — the
+// stand-in for the instruction pointer Pin captures in the paper. Resolving
+// a PC to file:line (runtime.CallersFrames plus string building) is far more
+// expensive than collecting the raw PCs, and a workload executes the same
+// handful of call sites millions of times, so the resolution is memoized
+// per PC. The cache is package-global: PCs are process-stable, and sharing
+// it across pools lets post-failure executions reuse what the pre-failure
+// stage resolved.
+
+// ipCacheEntry is the memoized skip/answer decision for one PC. done means
+// the walk stops at this PC with loc as the answer; otherwise the PC's
+// frames were all internal and the walk continues to the next PC.
+type ipCacheEntry struct {
+	loc  string
+	done bool
+}
+
+var ipCache sync.Map // uintptr → ipCacheEntry
+
+// callerIP returns the file:line of the nearest caller outside this package.
+func callerIP() string {
+	var pcs [16]uintptr
+	// Skip runtime.Callers, callerIP and the capture helper; the remaining
+	// in-package frames (the pool accessor itself) are filtered by file.
+	n := runtime.Callers(3, pcs[:])
+	for _, pc := range pcs[:n] {
+		if ent := resolvePC(pc); ent.done {
+			return ent.loc
+		}
+	}
+	return ""
+}
+
+// resolvePC memoizes the frame walk for a single PC, including inlined
+// frames (one PC can expand to several).
+func resolvePC(pc uintptr) ipCacheEntry {
+	if v, ok := ipCache.Load(pc); ok {
+		return v.(ipCacheEntry)
+	}
+	var ent ipCacheEntry
+	frames := runtime.CallersFrames([]uintptr{pc})
+	for {
+		f, more := frames.Next()
+		if f.File == "" {
+			ent = ipCacheEntry{done: true}
+			break
+		}
+		if !strings.Contains(f.File, "internal/pmem/") || strings.HasSuffix(f.File, "_test.go") {
+			ent = ipCacheEntry{loc: shortFile(f.File) + ":" + strconv.Itoa(f.Line), done: true}
+			break
+		}
+		if !more {
+			break
+		}
+	}
+	ipCache.Store(pc, ent)
+	return ent
+}
+
+func shortFile(path string) string {
+	// Keep the last two path elements: "pkg/file.go".
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return path
+	}
+	j := strings.LastIndexByte(path[:i], '/')
+	if j < 0 {
+		return path
+	}
+	return path[j+1:]
+}

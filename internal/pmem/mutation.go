@@ -1,0 +1,44 @@
+package pmem
+
+// Soundness-mutation test hooks for the snapshot layer.
+//
+// The incremental-snapshot and copy-on-write machinery (snapshot.go) must be
+// invisible to detection: the paper's correctness argument assumes every
+// post-failure execution starts from the exact PM image at the failure
+// point (footnote 3). The differential fuzzer and the workload equivalence
+// tables validate that with the optimization on vs. off — and, to prove
+// those suites can actually catch a snapshot-soundness regression rather
+// than co-evolving with it, the mutation tests flip these switches:
+//
+//   - staleDirtyForTest stops the store paths from marking dirty pages, so
+//     an incremental snapshot silently reuses stale base pages: the classic
+//     missed-invalidation bug of any delta-copy scheme.
+//   - tornCOWForTest corrupts every page a COW view privatizes, the
+//     analogue of a torn or miscopied page on first write: the triggering
+//     store still lands on top, so only the bytes the copy was supposed to
+//     carry over are wrong.
+//
+// With either switch on, the suites must report mismatches; if they ever
+// stop doing so, they have lost their teeth. Production code must never set
+// these; they exist solely for the mutation tests (internal/fuzzgen,
+// internal/bench).
+var (
+	staleDirtyForTest bool
+	tornCOWForTest    bool
+)
+
+// SetStaleDirtyForTest toggles the deliberate dirty-bitmap staleness.
+// Callers must not toggle it while a detection run is in flight.
+func SetStaleDirtyForTest(on bool) { staleDirtyForTest = on }
+
+// SetTornCOWForTest toggles the deliberate COW-page corruption. Callers
+// must not toggle it while a detection run is in flight.
+func SetTornCOWForTest(on bool) { tornCOWForTest = on }
+
+// tearPage corrupts a freshly privatized page, before the write that
+// triggered the privatization lands.
+func tearPage(pg []byte) {
+	for i := range pg {
+		pg[i] ^= 0xFF
+	}
+}

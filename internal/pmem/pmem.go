@@ -29,9 +29,6 @@ package pmem
 
 import (
 	"fmt"
-	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 
 	"github.com/pmemgo/xfdetector/internal/trace"
@@ -75,13 +72,30 @@ func (e *RangeError) Error() string {
 //
 // A Pool is not safe for fully concurrent mutation of overlapping data (the
 // workloads in the paper's evaluation perform independent operations per
-// thread, §7); the trace sink and annotation flags are nevertheless guarded
-// so concurrent tracing is well formed.
+// thread, §7), but every accessor performs its image mutation, dirty-page
+// marking and trace-entry capture inside one p.mu critical section, so
+// concurrent tracing is well formed and TakeSnapshot observes image bytes
+// and dirty bits atomically with respect to every store path.
 type Pool struct {
 	name string
-	buf  []byte
+	size uint64
 
-	mu        sync.Mutex
+	// Exactly one backing representation is set. Root pools (New,
+	// FromImage) use the flat buf plus the incremental-snapshot state
+	// below; post-failure pools built by FromSnapshot are copy-on-write
+	// views using pages/owned (snapshot.go).
+	buf   []byte
+	pages [][]byte
+	owned []bool
+
+	mu sync.Mutex
+	// Incremental-snapshot state (root pools; see snapshot.go): incSnap
+	// gates delta snapshots, dirty is the page-granularity bitmap of
+	// writes since base, base is the previous snapshot.
+	incSnap bool
+	dirty   []uint64
+	base    *Snapshot
+
 	sink      Sink
 	stage     trace.Stage
 	fenceHook func() // invoked immediately BEFORE each SFence takes effect
@@ -98,34 +112,60 @@ func New(name string, size int) *Pool {
 	if size <= 0 {
 		panic(fmt.Sprintf("pmem: pool %q must have positive size, got %d", name, size))
 	}
-	sz := int(LineUp(uint64(size)))
-	return &Pool{name: name, buf: make([]byte, sz), ipEnabled: true}
+	sz := LineUp(uint64(size))
+	return &Pool{
+		name:      name,
+		size:      sz,
+		buf:       make([]byte, sz),
+		incSnap:   true,
+		dirty:     make([]uint64, (numPages(sz)+63)/64),
+		ipEnabled: true,
+	}
 }
 
-// FromImage creates a pool backed by a copy of img. The detection frontend
-// uses it to spawn the post-failure execution on a copy of the PM image.
+// FromImage creates a pool backed by a full copy of img. The ablation
+// configuration (incremental snapshots disabled) uses it to spawn
+// post-failure executions the original O(PoolSize) way; FromSnapshot is the
+// copy-on-write fast path.
 func FromImage(name string, img []byte) *Pool {
 	buf := make([]byte, len(img))
 	copy(buf, img)
-	return &Pool{name: name, buf: buf, ipEnabled: true}
+	sz := uint64(len(buf))
+	return &Pool{
+		name:      name,
+		size:      sz,
+		buf:       buf,
+		incSnap:   true,
+		dirty:     make([]uint64, (numPages(sz)+63)/64),
+		ipEnabled: true,
+	}
 }
 
 // Name returns the pool's name.
 func (p *Pool) Name() string { return p.name }
 
 // Size returns the pool size in bytes.
-func (p *Pool) Size() uint64 { return uint64(len(p.buf)) }
+func (p *Pool) Size() uint64 { return p.size }
 
-// Snapshot returns a copy of the full PM image, including updates that are
-// not guaranteed persisted (footnote 3 of the paper).
+// Snapshot returns a flat copy of the full PM image, including updates that
+// are not guaranteed persisted (footnote 3 of the paper). It does not touch
+// the incremental-snapshot state; the detection frontend uses TakeSnapshot.
 func (p *Pool) Snapshot() []byte {
-	img := make([]byte, len(p.buf))
-	copy(img, p.buf)
+	img := make([]byte, p.size)
+	p.mu.Lock()
+	p.readLocked(0, img)
+	p.mu.Unlock()
 	return img
 }
 
-// Bytes exposes the live image for read-only inspection in tests.
-func (p *Pool) Bytes() []byte { return p.buf }
+// Bytes returns the PM image for read-only inspection in tests: the live
+// buffer of a root pool, a materialized copy for a COW view.
+func (p *Pool) Bytes() []byte {
+	if p.buf != nil {
+		return p.buf
+	}
+	return p.Snapshot()
+}
 
 // SetSink attaches (or, with nil, detaches) the trace sink.
 func (p *Pool) SetSink(s Sink) {
@@ -165,7 +205,7 @@ func (p *Pool) SetTID(tid uint32) {
 }
 
 // SetIPCapture toggles source-location capture. Disabling it removes the
-// runtime.Caller cost; reports then lack file:line information.
+// runtime.Callers cost; reports then lack file:line information.
 func (p *Pool) SetIPCapture(on bool) {
 	p.mu.Lock()
 	p.ipEnabled = on
@@ -220,18 +260,17 @@ func (p *Pool) InLibrary() bool {
 }
 
 func (p *Pool) check(op string, addr, size uint64) {
-	if addr+size > uint64(len(p.buf)) || addr+size < addr {
-		panic(&RangeError{Pool: p.name, Op: op, Addr: addr, Size: size, Len: uint64(len(p.buf))})
+	if addr+size > p.size || addr+size < addr {
+		panic(&RangeError{Pool: p.name, Op: op, Addr: addr, Size: size, Len: p.size})
 	}
 }
 
-// emit records one trace entry if a sink is attached.
-func (p *Pool) emit(kind trace.Kind, addr, size uint64, fn string) {
-	p.mu.Lock()
-	sink := p.sink
-	if sink == nil {
-		p.mu.Unlock()
-		return
+// captureLocked builds the trace entry for one operation; callers hold
+// p.mu. A nil sink result means tracing is detached and nothing is
+// delivered.
+func (p *Pool) captureLocked(kind trace.Kind, addr, size uint64, fn string) (*FaultHooks, Sink, trace.Entry) {
+	if p.sink == nil {
+		return nil, nil, trace.Entry{}
 	}
 	e := trace.Entry{
 		Kind:          kind,
@@ -246,9 +285,41 @@ func (p *Pool) emit(kind trace.Kind, addr, size uint64, fn string) {
 	if p.ipEnabled {
 		e.IP = callerIP()
 	}
-	faults := p.faults
+	return p.faults, p.sink, e
+}
+
+// emit records one trace entry if a sink is attached.
+func (p *Pool) emit(kind trace.Kind, addr, size uint64, fn string) {
+	p.mu.Lock()
+	faults, sink, e := p.captureLocked(kind, addr, size, fn)
 	p.mu.Unlock()
-	deliver(faults, sink, e)
+	if sink != nil {
+		deliver(faults, sink, e)
+	}
+}
+
+// emitWrite performs the image mutation and captures the trace entry in one
+// critical section, then delivers the entry outside the pool mutex.
+func (p *Pool) emitWrite(kind trace.Kind, addr uint64, data []byte) {
+	p.mu.Lock()
+	p.writeLocked(addr, data)
+	faults, sink, e := p.captureLocked(kind, addr, uint64(len(data)), "")
+	p.mu.Unlock()
+	if sink != nil {
+		deliver(faults, sink, e)
+	}
+}
+
+// emitRead reads len(dst) bytes and captures the trace entry in one
+// critical section, then delivers the entry outside the pool mutex.
+func (p *Pool) emitRead(addr uint64, dst []byte) {
+	p.mu.Lock()
+	p.readLocked(addr, dst)
+	faults, sink, e := p.captureLocked(trace.Read, addr, uint64(len(dst)), "")
+	p.mu.Unlock()
+	if sink != nil {
+		deliver(faults, sink, e)
+	}
 }
 
 // deliver hands e to the sink, consulting the sink fault hook first. The
@@ -262,130 +333,98 @@ func deliver(faults *FaultHooks, sink Sink, e trace.Entry) {
 	sink.Record(e)
 }
 
-// callerIP returns the file:line of the nearest caller outside this package.
-func callerIP() string {
-	var pcs [16]uintptr
-	// Skip runtime.Callers, callerIP, emit and the pool accessor itself.
-	n := runtime.Callers(3, pcs[:])
-	frames := runtime.CallersFrames(pcs[:n])
-	for {
-		f, more := frames.Next()
-		if f.File == "" {
-			return ""
-		}
-		if !strings.Contains(f.File, "internal/pmem/") || strings.HasSuffix(f.File, "_test.go") {
-			return shortFile(f.File) + ":" + strconv.Itoa(f.Line)
-		}
-		if !more {
-			return ""
-		}
-	}
-}
-
-func shortFile(path string) string {
-	// Keep the last two path elements: "pkg/file.go".
-	i := strings.LastIndexByte(path, '/')
-	if i < 0 {
-		return path
-	}
-	j := strings.LastIndexByte(path[:i], '/')
-	if j < 0 {
-		return path
-	}
-	return path[j+1:]
-}
-
 // Store writes data at addr through the cache hierarchy. The new value is
 // immediately visible to loads but not guaranteed persistent.
 func (p *Pool) Store(addr uint64, data []byte) {
 	p.check("store", addr, uint64(len(data)))
-	copy(p.buf[addr:], data)
-	p.emit(trace.Write, addr, uint64(len(data)), "")
+	p.emitWrite(trace.Write, addr, data)
 }
 
 // NTStore writes data at addr with a non-temporal store: the range becomes
 // writeback-pending immediately and is persisted by the next SFence.
 func (p *Pool) NTStore(addr uint64, data []byte) {
 	p.check("ntstore", addr, uint64(len(data)))
-	copy(p.buf[addr:], data)
-	p.emit(trace.NTStore, addr, uint64(len(data)), "")
+	p.emitWrite(trace.NTStore, addr, data)
 }
 
 // Load reads len(dst) bytes at addr into dst.
 func (p *Pool) Load(addr uint64, dst []byte) {
 	p.check("load", addr, uint64(len(dst)))
-	copy(dst, p.buf[addr:])
-	p.emit(trace.Read, addr, uint64(len(dst)), "")
+	p.emitRead(addr, dst)
 }
 
 // Store8 writes one byte.
 func (p *Pool) Store8(addr uint64, v uint8) {
 	p.check("store", addr, 1)
-	p.buf[addr] = v
-	p.emit(trace.Write, addr, 1, "")
+	b := [1]byte{v}
+	p.emitWrite(trace.Write, addr, b[:])
 }
 
 // Load8 reads one byte.
 func (p *Pool) Load8(addr uint64) uint8 {
 	p.check("load", addr, 1)
-	v := p.buf[addr]
-	p.emit(trace.Read, addr, 1, "")
-	return v
+	var b [1]byte
+	p.emitRead(addr, b[:])
+	return b[0]
 }
 
 // Store16 writes a little-endian uint16.
 func (p *Pool) Store16(addr uint64, v uint16) {
 	p.check("store", addr, 2)
-	p.buf[addr] = byte(v)
-	p.buf[addr+1] = byte(v >> 8)
-	p.emit(trace.Write, addr, 2, "")
+	b := [2]byte{byte(v), byte(v >> 8)}
+	p.emitWrite(trace.Write, addr, b[:])
 }
 
 // Load16 reads a little-endian uint16.
 func (p *Pool) Load16(addr uint64) uint16 {
 	p.check("load", addr, 2)
-	v := uint16(p.buf[addr]) | uint16(p.buf[addr+1])<<8
-	p.emit(trace.Read, addr, 2, "")
-	return v
+	var b [2]byte
+	p.emitRead(addr, b[:])
+	return uint16(b[0]) | uint16(b[1])<<8
 }
 
 // Store32 writes a little-endian uint32.
 func (p *Pool) Store32(addr uint64, v uint32) {
 	p.check("store", addr, 4)
-	putU32(p.buf[addr:], v)
-	p.emit(trace.Write, addr, 4, "")
+	var b [4]byte
+	putU32(b[:], v)
+	p.emitWrite(trace.Write, addr, b[:])
 }
 
 // Load32 reads a little-endian uint32.
 func (p *Pool) Load32(addr uint64) uint32 {
 	p.check("load", addr, 4)
-	v := getU32(p.buf[addr:])
-	p.emit(trace.Read, addr, 4, "")
-	return v
+	var b [4]byte
+	p.emitRead(addr, b[:])
+	return getU32(b[:])
 }
 
 // Store64 writes a little-endian uint64.
 func (p *Pool) Store64(addr uint64, v uint64) {
 	p.check("store", addr, 8)
-	putU64(p.buf[addr:], v)
-	p.emit(trace.Write, addr, 8, "")
+	var b [8]byte
+	putU64(b[:], v)
+	p.emitWrite(trace.Write, addr, b[:])
 }
 
 // Load64 reads a little-endian uint64.
 func (p *Pool) Load64(addr uint64) uint64 {
 	p.check("load", addr, 8)
-	v := getU64(p.buf[addr:])
-	p.emit(trace.Read, addr, 8, "")
-	return v
+	var b [8]byte
+	p.emitRead(addr, b[:])
+	return getU64(b[:])
 }
 
 // Memset writes n copies of b starting at addr.
 func (p *Pool) Memset(addr uint64, b byte, n uint64) {
 	p.check("memset", addr, n)
-	for i := uint64(0); i < n; i++ {
-		p.buf[addr+i] = b
+	p.mu.Lock()
+	p.memsetLocked(addr, b, n)
+	faults, sink, e := p.captureLocked(trace.Write, addr, n, "")
+	p.mu.Unlock()
+	if sink != nil {
+		deliver(faults, sink, e)
 	}
-	p.emit(trace.Write, addr, n, "")
 }
 
 // Copy performs a PM-to-PM memmove of n bytes; it traces a read of the
@@ -394,8 +433,20 @@ func (p *Pool) Copy(dst, src, n uint64) {
 	p.check("copy-src", src, n)
 	p.check("copy-dst", dst, n)
 	p.emit(trace.Read, src, n, "")
-	copy(p.buf[dst:dst+n], p.buf[src:src+n])
-	p.emit(trace.Write, dst, n, "")
+	p.mu.Lock()
+	if p.buf != nil {
+		copy(p.buf[dst:dst+n], p.buf[src:src+n])
+		p.markDirtyLocked(dst, n)
+	} else {
+		tmp := make([]byte, n)
+		p.readLocked(src, tmp)
+		p.writeLocked(dst, tmp)
+	}
+	faults, sink, e := p.captureLocked(trace.Write, dst, n, "")
+	p.mu.Unlock()
+	if sink != nil {
+		deliver(faults, sink, e)
+	}
 }
 
 // CLWB requests writeback of the cache lines covering [addr, addr+size).
