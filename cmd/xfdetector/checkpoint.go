@@ -32,6 +32,12 @@ type checkpointLine struct {
 	// campaign was not sharded).
 	Total  int `json:"total,omitempty"`
 	Shards int `json:"shards,omitempty"`
+	// ShadowPeakBytes and ShadowPages are only set on the summary line:
+	// the run's peak shadow-PM footprint and cumulative 4 KiB shadow page
+	// allocations (zero under -dense-shadow, whose flat arrays appear only
+	// in the byte peak). Older checkpoints without them still parse.
+	ShadowPeakBytes uint64 `json:"shadow_peak_bytes,omitempty"`
+	ShadowPages     uint64 `json:"shadow_pages,omitempty"`
 }
 
 // summaryFP marks the summary line; real failure points are 0-based.
@@ -148,7 +154,8 @@ func (w *checkpointWriter) record(fp int, fresh []core.Report) {
 // (fp < 0, i.e. performance bugs from the trace replay) that the per-point
 // lines do not carry. Written only when the run was not Incomplete.
 func (w *checkpointWriter) recordSummary(res *core.Result, shards int) {
-	line := checkpointLine{FP: summaryFP, Total: res.FailurePoints, Shards: shards}
+	line := checkpointLine{FP: summaryFP, Total: res.FailurePoints, Shards: shards,
+		ShadowPeakBytes: res.ShadowPeakBytes, ShadowPages: res.ShadowPages}
 	for _, rep := range res.Reports {
 		if rep.FailurePoint < 0 {
 			line.Reports = append(line.Reports, rep)

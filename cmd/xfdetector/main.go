@@ -72,6 +72,7 @@ func realMain(args []string) int {
 		workers     = fs.Int("workers", 1, "post-failure worker goroutines (>1 enables parallel detection)")
 		postTimeout = fs.Duration("post-timeout", 0, "wall-clock deadline per post-failure run (0 = none)")
 		fullCopy    = fs.Bool("full-copy-snapshots", false, "copy the full PM image at every failure point instead of incremental dirty-page snapshots (ablation)")
+		denseShadow = fs.Bool("dense-shadow", false, "use flat per-byte shadow arrays sized to the pool instead of the sparse paged shadow PM (ablation)")
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
 		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
@@ -127,6 +128,7 @@ func realMain(args []string) int {
 		Workers:                     *workers,
 		PostRunTimeout:              *postTimeout,
 		DisableIncrementalSnapshots: *fullCopy,
+		DenseShadow:                 *denseShadow,
 	}
 	if *shards > 1 {
 		cfg.ShardCount = *shards

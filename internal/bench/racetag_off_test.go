@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether this build runs under the Go race detector
+// (racetag_on_test.go is the -race counterpart). The stale-fork-page
+// shadow mutant disables copy-on-write privatization, making the canonical
+// shadow and worker forks genuinely race on shared pages, so the subtests
+// that enable it skip under -race.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this build runs under the Go race detector.
+// See racetag_off_test.go for why the stale-fork-page subtests consult it.
+const raceEnabled = true

@@ -66,12 +66,19 @@ type Config struct {
 	// the original two full O(PoolSize) image copies. For ablation
 	// measurements; the report set is identical either way.
 	DisableIncrementalSnapshots bool
+	// DenseShadow switches the detection backend to the dense
+	// representation: full-pool-size per-byte shadow arrays, per-byte FSM
+	// transitions, and worker forks that deep-copy the whole table,
+	// instead of the sparse paged shadow with range-batched transitions
+	// and copy-on-write forks. For ablation measurements; the report set
+	// is identical either way.
+	DenseShadow bool
 	// Workers enables parallelized detection (the future work of §6.2.1):
 	// with Workers > 1, post-failure executions run on that many worker
-	// goroutines, each replaying the pre-failure trace into a private
-	// shadow PM. The report set is identical to sequential detection; the
-	// Result's PostSeconds then sums worker time, which overlaps the
-	// pre-failure stage.
+	// goroutines, each checking against a copy-on-write fork of the
+	// canonical shadow PM captured at its failure point. The report set is
+	// identical to sequential detection; the Result's PostSeconds then
+	// sums worker time, which overlaps the pre-failure stage.
 	Workers int
 	// MaxPostOps bounds each post-failure execution to this many traced PM
 	// operations (0 = a generous default). A recovery or resumption that
@@ -198,11 +205,6 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	r.pool.SetIncrementalSnapshots(!cfg.DisableIncrementalSnapshots)
 	r.pool.SetFaultHooks(cfg.FaultHooks)
 	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
-	if cfg.Mode == ModeDetect && cfg.Workers > 1 {
-		// Parallel detection replays the pre-failure trace in the
-		// workers, so the trace must be kept.
-		r.cfg.KeepTrace = true
-	}
 	if cfg.Mode != ModeOriginal {
 		if r.cfg.KeepTrace {
 			r.keptTrace = trace.New()
@@ -210,7 +212,13 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		r.pool.SetSink((*preSink)(r))
 	}
 	if cfg.Mode == ModeDetect {
-		r.sh = shadow.NewPM(r.pool.Size())
+		// Workers check against COW forks of this one canonical shadow;
+		// parallel mode no longer needs the trace retained for replay.
+		if cfg.DenseShadow {
+			r.sh = shadow.NewDensePM(r.pool.Size())
+		} else {
+			r.sh = shadow.NewPM(r.pool.Size())
+		}
 		if !cfg.DisablePerfBugs {
 			r.sh.SetPerfBugHandler(r.onPerfBug)
 		}
@@ -275,6 +283,9 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		res.ShardCount = cfg.ShardCount
 		res.ShardIndex = cfg.ShardIndex
 		res.OtherShardFailurePoints = r.otherShardFPs
+	}
+	if r.sh != nil {
+		res.ShadowPeakBytes, res.ShadowPages = r.sh.MemStats()
 	}
 	res.trace = r.keptTrace
 	return res, nil
@@ -522,13 +533,9 @@ func (r *runner) injectFailure() {
 			return
 		}
 		r.postRuns++
-		pos := r.keptTrace.Len()
-		r.engine.submit(fpWork{
-			id:       fpID,
-			tracePos: pos,
-			entries:  r.keptTrace.Slice(0, pos),
-			snap:     snap,
-		})
+		// Fork under sinkMu: the pre-failure execution is suspended, so
+		// the fork captures exactly the failure point's shadow state.
+		r.engine.submit(fpWork{id: fpID, fork: r.sh.Fork(), snap: snap})
 		return
 	}
 	start := time.Now()
@@ -677,9 +684,10 @@ func (r *runner) newPostPool(snap *pmem.Snapshot) *pmem.Pool {
 }
 
 // attemptPost executes one post-failure run for fpID on a view of snap,
-// checking it against sh — the run's shadow in sequential mode, the
-// worker's private shadow in parallel mode. It runs inline when no deadline
-// is configured, on its own goroutine under PostRunTimeout otherwise.
+// checking it against sh — the run's canonical shadow in sequential mode,
+// the failure point's COW fork in parallel mode. It runs inline when no
+// deadline is configured, on its own goroutine under PostRunTimeout
+// otherwise.
 func (r *runner) attemptPost(fpID int, snap *pmem.Snapshot, sh *shadow.PM) postOutcome {
 	post := r.newPostPool(snap)
 	checker := sh.BeginPostCheck()

@@ -6,7 +6,6 @@ import (
 
 	"github.com/pmemgo/xfdetector/internal/pmem"
 	"github.com/pmemgo/xfdetector/internal/shadow"
-	"github.com/pmemgo/xfdetector/internal/trace"
 )
 
 // Parallel detection.
@@ -18,36 +17,36 @@ import (
 // This file implements that future work.
 //
 // With Config.Workers > 1, the fence hook no longer runs the post-failure
-// stage inline. Instead it captures a work item — the failure point's id,
-// the pre-failure trace position, and a snapshot of the PM image — and
-// hands it to one of W workers, sharded round-robin so each worker sees its
-// failure points in increasing trace order. Every worker owns a private
-// shadow PM that it advances by replaying the shared pre-failure trace up
-// to each item's position, reproducing exactly the state the sequential
-// backend would have had; it then executes the post-failure stage on a
-// copy-on-write view of the snapshot and checks it against that shadow.
-// Each worker's queue is bounded, so at most a few snapshots are in flight
-// per worker and the pre-failure execution back-pressures instead of
-// exhausting memory.
+// stage inline. Instead it captures a work item — the failure point's id, a
+// copy-on-write fork of the canonical shadow PM (shadow.PM.Fork), and a
+// snapshot of the PM image — and hands it to one of W workers, sharded
+// round-robin. The fork freezes the shadow exactly at the failure point:
+// the pre-failure thread keeps advancing the one canonical shadow and
+// privatizes any shared shadow page before mutating it, so total shadow
+// work is O(trace + dirtied pages) instead of the W independent full-trace
+// replays of the previous design, and shadow memory stays proportional to
+// the touched bytes plus in-flight COW deltas. Each worker checks the
+// post-failure execution of a copy-on-write view of the snapshot against
+// its fork and releases the fork's page references when done. Every
+// worker's queue is bounded, so at most a few snapshots and forks are in
+// flight per worker and the pre-failure execution back-pressures instead
+// of exhausting memory.
 //
 // Reports are deduplicated across workers by the same reader/writer key as
 // in sequential mode, so the report set is identical; only discovery order
 // may differ.
 
-// fpWork is one failure point captured for asynchronous checking. The
-// entries slice is captured on the pre-failure thread: it aliases a stable
-// prefix of the trace's backing array (appends only touch indices beyond
-// it, or reallocate into a fresh array), so workers may read it freely.
-// snap is shared under the analogous COW aliasing contract (pmem's
-// snapshot.go): its pages may also back the root pool's next delta
-// snapshot and other in-flight work items, and every reader treats them as
-// immutable — each post-run attempt writes only through its own
-// copy-on-write view.
+// fpWork is one failure point captured for asynchronous checking. fork is
+// immutable shadow state as of the failure point (shared pages are
+// privatized by whichever side writes first; see shadow/page.go). snap is
+// shared under the analogous COW aliasing contract (pmem's snapshot.go):
+// its pages may also back the root pool's next delta snapshot and other
+// in-flight work items, and every reader treats them as immutable — each
+// post-run attempt writes only through its own copy-on-write view.
 type fpWork struct {
-	id       int
-	tracePos int
-	entries  []trace.Entry
-	snap     *pmem.Snapshot
+	id   int
+	fork *shadow.PM
+	snap *pmem.Snapshot
 }
 
 // parallelEngine coordinates the worker pool of one detection run.
@@ -66,10 +65,6 @@ type parallelEngine struct {
 type postWorker struct {
 	eng   *parallelEngine
 	queue chan fpWork
-	sh    *shadow.PM
-	// replayed is the number of pre-failure trace entries already applied
-	// to this worker's shadow.
-	replayed int
 }
 
 const workerQueueDepth = 2
@@ -80,7 +75,6 @@ func newParallelEngine(r *runner, workers int) *parallelEngine {
 		w := &postWorker{
 			eng:   eng,
 			queue: make(chan fpWork, workerQueueDepth),
-			sh:    shadow.NewPM(r.pool.Size()),
 		}
 		eng.workers = append(eng.workers, w)
 		eng.wg.Add(1)
@@ -119,23 +113,18 @@ func (w *postWorker) run() {
 	}
 }
 
-// check advances the worker's shadow to the failure point and runs the
-// post-failure stage against it, with the same retry-once-then-quarantine
-// and deadline-abandonment semantics as the sequential path. The snapshot
-// was taken (with its own retry) at injection time; a worker-side retry
-// builds a fresh copy-on-write view of it, dropping the faulted attempt's
-// overlay.
+// check runs the post-failure stage against the item's shadow fork, with
+// the same retry-once-then-quarantine and deadline-abandonment semantics
+// as the sequential path. The snapshot was taken (with its own retry) at
+// injection time; a worker-side retry builds a fresh copy-on-write view of
+// it, dropping the faulted attempt's overlay, and re-checks against the
+// same fork (BeginPostCheck renews the scratch generation). The fork is
+// released afterwards so its shadow pages stop counting as live.
 func (w *postWorker) check(item fpWork) {
 	r := w.eng.r
-	// Advance this worker's shadow to the failure point by replaying the
-	// not-yet-seen part of the captured trace prefix.
-	for _, e := range item.entries[w.replayed:] {
-		w.sh.Apply(e)
-	}
-	w.replayed = item.tracePos
-
+	defer item.fork.Release()
 	out, ok := r.runAttempts(item.id, func() postOutcome {
-		return r.attemptPost(item.id, item.snap, w.sh)
+		return r.attemptPost(item.id, item.snap, item.fork)
 	})
 	if !ok {
 		return

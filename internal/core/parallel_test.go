@@ -113,27 +113,39 @@ func TestParallelPostFault(t *testing.T) {
 	}
 }
 
-// TestParallelKeepsTraceImplicitly: Workers > 1 forces trace retention.
-func TestParallelKeepsTraceImplicitly(t *testing.T) {
+// TestParallelTraceRetention: COW shadow forks freed parallel detection
+// from replaying the trace in workers, so Workers > 1 no longer forces
+// KeepTrace — and explicit retention still works alongside workers.
+func TestParallelTraceRetention(t *testing.T) {
 	res, err := Run(Config{Workers: 2}, figure11Target("par-trace"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.PreTrace() != nil {
+		t.Fatal("parallel run retained the pre-failure trace without KeepTrace")
+	}
+	res, err = Run(Config{Workers: 2, KeepTrace: true}, figure11Target("par-trace-keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.PreTrace() == nil || res.PreTrace().Len() == 0 {
-		t.Fatal("parallel run did not retain the pre-failure trace")
+		t.Fatal("KeepTrace ignored in parallel mode")
 	}
 }
 
-// TestParallelTracePrefixAliasing stresses the central memory-safety claim
-// of the parallel engine: each fpWork.entries slice aliases a stable,
-// already-written prefix of the shared pre-failure trace, so workers may
-// replay it without copying while the pre-failure thread keeps appending.
-// A long pre-failure stage (hundreds of ordering points over many cache
-// lines) maximizes the overlap between in-flight replays and ongoing
-// appends; `go test -race ./internal/core` turns any violation of the
-// prefix-stability argument into a hard failure, and the sequential
-// comparison pins the equivalence contract at the same time.
-func TestParallelTracePrefixAliasing(t *testing.T) {
+// TestForkWhileReplaying stresses the central memory-safety claim of the
+// parallel engine: each fpWork carries a copy-on-write fork of the
+// canonical shadow, whose pages the pre-failure thread keeps mutating —
+// legally only after privatizing them — while workers concurrently read
+// and scratch-write their forks. A long pre-failure stage (hundreds of
+// ordering points repeatedly re-dirtying the same cache lines) maximizes
+// the overlap between live forks and ongoing canonical-shadow updates, and
+// the bounded worker queues keep several forks of different trace
+// positions alive at once; `go test -race ./internal/core` turns any
+// violation of the privatize-before-write contract into a hard failure,
+// and the sequential comparison pins the equivalence contract at the same
+// time.
+func TestForkWhileReplaying(t *testing.T) {
 	const (
 		lines = 32
 		iters = 300
@@ -185,6 +197,10 @@ func TestParallelTracePrefixAliasing(t *testing.T) {
 		if par.BenignReads != seq.BenignReads || par.PostEntries != seq.PostEntries {
 			t.Errorf("workers=%d: benign/post-entries = %d/%d, want %d/%d",
 				workers, par.BenignReads, par.PostEntries, seq.BenignReads, seq.PostEntries)
+		}
+		if par.ShadowPages == 0 || par.ShadowPeakBytes == 0 {
+			t.Errorf("workers=%d: shadow stats empty (%d pages, %d peak bytes)",
+				workers, par.ShadowPages, par.ShadowPeakBytes)
 		}
 	}
 }

@@ -200,6 +200,15 @@ type Result struct {
 	OtherShardFailurePoints int
 	// HarnessFaults describes each quarantined failure point.
 	HarnessFaults []string
+	// ShadowPeakBytes is the peak number of live shadow-PM bytes across
+	// the run — the canonical shadow plus every concurrently live worker
+	// fork — and ShadowPages is the cumulative number of 4 KiB shadow
+	// pages allocated (lazy allocations plus copy-on-write clones; zero
+	// under Config.DenseShadow, whose full-pool arrays appear only in the
+	// byte peak). Both are zero in trace-only and original modes, which
+	// build no shadow.
+	ShadowPeakBytes uint64
+	ShadowPages     uint64
 
 	trace *trace.Trace
 }
@@ -251,6 +260,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "trace entries: %d pre, %d post; benign commit-variable reads: %d bytes\n",
 		r.PreEntries, r.PostEntries, r.BenignReads)
 	fmt.Fprintf(&b, "time: %.3fs pre-failure, %.3fs post-failure\n", r.PreSeconds, r.PostSeconds)
+	if r.ShadowPeakBytes > 0 {
+		fmt.Fprintf(&b, "shadow: peak %d KiB, %d page(s) allocated\n",
+			(r.ShadowPeakBytes+1023)/1024, r.ShadowPages)
+	}
 	if r.ResumedFailurePoints > 0 {
 		fmt.Fprintf(&b, "resumed: %d failure point(s) reused from a checkpoint\n", r.ResumedFailurePoints)
 	}

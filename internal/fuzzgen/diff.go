@@ -67,6 +67,10 @@ func CheckSeed(seed int64, knob Knob) error {
 //   - ModeDetect with incremental snapshots disabled: same full comparison
 //     — the delta-snapshot/copy-on-write optimization must be invisible,
 //     down to the exact bytes every post-failure load observes;
+//   - ModeDetect with the dense shadow representation: same full
+//     comparison — the sparse paged shadow with range-batched transitions
+//     must be indistinguishable from the per-byte dense reference,
+//     verdicts and post-read byte digests alike;
 //   - ModeDetect with failure-point elision disabled: full comparison
 //     against a second oracle evaluation with elision disabled;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
@@ -110,6 +114,10 @@ func CheckProgram(p Program) error {
 	}
 	if err := checkFull("no-incremental-snapshots", want,
 		core.Config{DisableIncrementalSnapshots: true}); err != nil {
+		return err
+	}
+	if err := checkFull("dense-shadow", want,
+		core.Config{DenseShadow: true}); err != nil {
 		return err
 	}
 

@@ -173,11 +173,12 @@ func Generate(seed int64, knob Knob) Program {
 }
 
 type gen struct {
-	r       *rng
-	cfg     genCfg
-	p       *Program
-	vars    []cvar
-	written []span // every range stored so far (setup + pre)
+	r         *rng
+	cfg       genCfg
+	p         *Program
+	vars      []cvar
+	written   []span // every range stored so far (setup + pre)
+	redirtied []span // spans re-stored after their writeback (still dirty)
 }
 
 func (g *gen) emitSetup(op Op) { g.p.Setup = append(g.p.Setup, op) }
@@ -197,8 +198,19 @@ func (g *gen) randTx() span {
 }
 
 // rawBlock emits 1–3 stores, their writebacks (each possibly dropped), an
-// optional stray flush, and a closing fence (possibly dropped).
+// optional stray flush, and a closing fence (possibly dropped). With some
+// probability it re-dirties part of a just-written-back span before the
+// fence — the classic update-after-writeback mistake, which demotes a
+// uniformly writeback-pending cache line to mixed state — and a later
+// block then writes the still-dirty span back again (a useful flush,
+// unless a fence wrongly persisted the re-modified bytes).
 func (g *gen) rawBlock() {
+	if len(g.redirtied) > 0 && g.r.pct(50) {
+		i := g.r.intn(len(g.redirtied))
+		s := g.redirtied[i]
+		g.redirtied = append(g.redirtied[:i], g.redirtied[i+1:]...)
+		g.emitPre(Op{Kind: OpCLWB, Addr: s.addr, Size: s.size})
+	}
 	n := 1 + g.r.intn(3)
 	var stores []span
 	for i := 0; i < n; i++ {
@@ -213,6 +225,7 @@ func (g *gen) rawBlock() {
 			stores = append(stores, s)
 		}
 	}
+	var flushed []span
 	for _, s := range stores {
 		if g.r.pct(g.cfg.dropFlush) {
 			continue
@@ -222,6 +235,14 @@ func (g *gen) rawBlock() {
 			kind = OpCLFlush
 		}
 		g.emitPre(Op{Kind: kind, Addr: s.addr, Size: s.size})
+		flushed = append(flushed, s)
+	}
+	if len(flushed) > 0 && g.r.pct(25) {
+		f := flushed[g.r.intn(len(flushed))]
+		rd := span{f.addr, uint64(1 + g.r.intn(int(f.size)))}
+		g.emitPre(Op{Kind: OpStore, Addr: rd.addr, Size: rd.size})
+		g.written = append(g.written, rd)
+		g.redirtied = append(g.redirtied, rd)
 	}
 	if g.r.pct(g.cfg.strayFlush) {
 		s := g.randRaw()

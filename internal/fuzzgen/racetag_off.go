@@ -1,0 +1,12 @@
+//go:build !race
+
+package fuzzgen
+
+// raceEnabled reports whether this build runs under the Go race detector
+// (see racetag_on.go for the -race counterpart). The stale-fork-page shadow
+// mutant deliberately breaks the copy-on-write privatization discipline, so
+// the canonical shadow and worker forks really do race on shared pages;
+// the tests that enable it must skip under -race, where the detector would
+// (correctly) abort the process before the differential check could flag
+// the divergence.
+const raceEnabled = false

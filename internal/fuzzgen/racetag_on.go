@@ -1,0 +1,7 @@
+//go:build race
+
+package fuzzgen
+
+// raceEnabled reports whether this build runs under the Go race detector.
+// See racetag_off.go for why the stale-fork-page mutation tests consult it.
+const raceEnabled = true

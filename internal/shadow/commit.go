@@ -116,7 +116,7 @@ func (s *PM) noteCommitPersists() {
 		}
 		all := true
 		for b := cv.addr; b < cv.addr+cv.size && b < s.size; b++ {
-			if s.state[b] != Persisted {
+			if s.State(b) != Persisted {
 				all = false
 				break
 			}

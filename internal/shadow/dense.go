@@ -1,0 +1,156 @@
+package shadow
+
+// Dense (ablation) shadow representation.
+//
+// This file preserves the pre-sparse implementation: full-pool-size
+// per-byte arrays and per-byte FSM transition loops, selected by
+// NewDensePM (core.Config.DenseShadow / xfdetector -dense-shadow). It is
+// deliberately an independent code path rather than a parameterization of
+// the sparse one: the differential fuzzer's dense-shadow config and the
+// ablation benchmarks compare the two representations against each other,
+// which only has teeth while they do not share their transition code.
+// Forking a dense shadow deep-copies every array — the O(pool × workers)
+// cost the sparse representation exists to avoid.
+
+import "github.com/pmemgo/xfdetector/internal/pmem"
+
+// denseState holds the flat per-byte arrays of the dense representation.
+type denseState struct {
+	state        []PersistState
+	writeEpoch   []uint32
+	persistEpoch []uint32
+	writerIdx    []uint32
+	txSafe       []bool
+	txAddGen     []uint32
+	txExplicit   []uint32
+	postWritten  []uint32
+	checked      []uint32
+}
+
+func newDenseState(size uint64) *denseState {
+	return &denseState{
+		state:        make([]PersistState, size),
+		writeEpoch:   make([]uint32, size),
+		persistEpoch: make([]uint32, size),
+		writerIdx:    make([]uint32, size),
+		txSafe:       make([]bool, size),
+		txAddGen:     make([]uint32, size),
+		txExplicit:   make([]uint32, size),
+		postWritten:  make([]uint32, size),
+		checked:      make([]uint32, size),
+	}
+}
+
+func (d *denseState) clone() *denseState {
+	return &denseState{
+		state:        append([]PersistState(nil), d.state...),
+		writeEpoch:   append([]uint32(nil), d.writeEpoch...),
+		persistEpoch: append([]uint32(nil), d.persistEpoch...),
+		writerIdx:    append([]uint32(nil), d.writerIdx...),
+		txSafe:       append([]bool(nil), d.txSafe...),
+		txAddGen:     append([]uint32(nil), d.txAddGen...),
+		txExplicit:   append([]uint32(nil), d.txExplicit...),
+		postWritten:  append([]uint32(nil), d.postWritten...),
+		checked:      append([]uint32(nil), d.checked...),
+	}
+}
+
+// denseStore is the dense body of applyWrite (st = Modified) and
+// applyNTStore (st = WritebackPending).
+func (s *PM) denseStore(addr, end uint64, w uint32, inTx bool, st PersistState) {
+	d := s.d
+	for b := addr; b < end; b++ {
+		d.state[b] = st
+		d.writeEpoch[b] = s.clock
+		d.writerIdx[b] = w
+		if d.txSafe[b] {
+			// A write outside any transaction, or inside a transaction
+			// that did not TX_ADD this byte, voids the protection.
+			if !inTx || d.txAddGen[b] != s.txGen {
+				d.txSafe[b] = false
+			}
+		}
+	}
+}
+
+func (s *PM) denseFlush(start, limit uint64, useful *bool) {
+	d := s.d
+	for line := start; line < limit; line += pmem.CacheLineSize {
+		lineEnd := line + pmem.CacheLineSize
+		if lineEnd > s.size {
+			lineEnd = s.size
+		}
+		for b := line; b < lineEnd; b++ {
+			if d.state[b] == Modified {
+				if unsoundFlushForTest {
+					// Deliberately wrong (see mutation.go): jump straight to
+					// Persisted without waiting for the fence.
+					d.state[b] = Persisted
+					d.persistEpoch[b] = s.clock
+					*useful = true
+					continue
+				}
+				d.state[b] = WritebackPending
+				s.pendingLines[line] = true
+				*useful = true
+			}
+		}
+	}
+}
+
+func (s *PM) denseFence() {
+	d := s.d
+	for line := range s.pendingLines {
+		lineEnd := line + pmem.CacheLineSize
+		if lineEnd > s.size {
+			lineEnd = s.size
+		}
+		for b := line; b < lineEnd; b++ {
+			if d.state[b] == WritebackPending {
+				d.state[b] = Persisted
+				d.persistEpoch[b] = s.clock
+			}
+		}
+	}
+}
+
+// denseTxAdd is the dense body of applyTxAdd; it reports whether the range
+// was already explicitly TX_ADDed by this transaction.
+func (s *PM) denseTxAdd(addr, end uint64, explicit bool) bool {
+	d := s.d
+	duplicate := explicit
+	for b := addr; b < end; b++ {
+		if d.txExplicit[b] != s.txGen {
+			duplicate = false
+		}
+		d.txAddGen[b] = s.txGen
+		if explicit {
+			d.txExplicit[b] = s.txGen
+		}
+		d.txSafe[b] = true
+	}
+	return duplicate
+}
+
+func (s *PM) denseEndTxProtection() {
+	d := s.d
+	for _, r := range s.curTx {
+		for b := r.addr; b < r.addr+r.size; b++ {
+			d.txSafe[b] = false
+		}
+	}
+}
+
+func (s *PM) denseAtomicAlloc(addr, end uint64, w uint32) {
+	d := s.d
+	for b := addr; b < end; b++ {
+		// Freshly allocated memory has indeterminate content: with a
+		// different allocator it may not be zeroed (paper Bug 2), so it is
+		// modified-but-not-guaranteed-persisted until the program
+		// initializes and persists it.
+		d.state[b] = Modified
+		d.writeEpoch[b] = s.clock
+		d.writerIdx[b] = w
+		d.txSafe[b] = false
+	}
+}

@@ -1,0 +1,311 @@
+package shadow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// TestForkFrozenAtCapture: a fork must keep observing the shadow exactly
+// as it was at Fork time while the parent keeps replaying.
+func TestForkFrozenAtCapture(t *testing.T) {
+	s := NewPM(1 << 16)
+	apply(s, trace.Write, 0, 64)
+	apply(s, trace.CLWB, 0, 64)
+	apply(s, trace.Write, 4096, 8) // second page, never persisted
+
+	f := s.Fork()
+	defer f.Release()
+
+	// Parent advances past the failure point: the flushed line persists
+	// and the second page gets overwritten and persisted too.
+	apply(s, trace.SFence, 0, 0)
+	apply(s, trace.Write, 4096, 8)
+	apply(s, trace.CLWB, 4096, 8)
+	apply(s, trace.SFence, 0, 0)
+
+	if got := s.State(0); got != Persisted {
+		t.Fatalf("parent state(0) = %v, want P", got)
+	}
+	if got := f.State(0); got != WritebackPending {
+		t.Fatalf("fork state(0) = %v, want W (frozen pre-fence)", got)
+	}
+	if got := f.State(4096); got != Modified {
+		t.Fatalf("fork state(4096) = %v, want M", got)
+	}
+	if f.Clock() == s.Clock() {
+		t.Fatal("fork clock advanced with parent")
+	}
+
+	// The fork's post-failure checker sees the frozen state: both ranges
+	// race (W and M are not guaranteed persisted)...
+	ch := f.BeginPostCheck()
+	if fs := ch.OnRead(0, 8); len(fs) != 1 || fs[0].Class != ClassRace {
+		t.Fatalf("fork OnRead(0) = %+v, want one race", fs)
+	}
+	// ...while the parent's checker sees them persisted.
+	pch := s.BeginPostCheck()
+	if fs := pch.OnRead(0, 8); len(fs) != 0 {
+		t.Fatalf("parent OnRead(0) = %+v, want clean", fs)
+	}
+	if fs := pch.OnRead(4096, 8); len(fs) != 0 {
+		t.Fatalf("parent OnRead(4096) = %+v, want clean", fs)
+	}
+}
+
+// TestForkScratchIsolation: post-check overlay and checked marks made
+// through a fork must not leak into the parent or sibling forks.
+func TestForkScratchIsolation(t *testing.T) {
+	s := NewPM(1 << 14)
+	apply(s, trace.Write, 100, 8)
+	f1 := s.Fork()
+	defer f1.Release()
+	f2 := s.Fork()
+	defer f2.Release()
+
+	c1 := f1.BeginPostCheck()
+	c1.OnWrite(100, 8) // overwrites the range: subsequent reads are safe
+	if fs := c1.OnRead(100, 8); len(fs) != 0 {
+		t.Fatalf("f1 read after post write = %+v, want clean", fs)
+	}
+	c2 := f2.BeginPostCheck()
+	if fs := c2.OnRead(100, 8); len(fs) != 1 || fs[0].Class != ClassRace {
+		t.Fatalf("f2 OnRead = %+v, want one race (no leaked overlay)", fs)
+	}
+	cp := s.BeginPostCheck()
+	if fs := cp.OnRead(100, 8); len(fs) != 1 || fs[0].Class != ClassRace {
+		t.Fatalf("parent OnRead = %+v, want one race (no leaked overlay)", fs)
+	}
+}
+
+// TestForkCommitVarIsolation: commit-variable records are deep-copied into
+// the fork — the parent mutates them in place at every store and fence.
+func TestForkCommitVarIsolation(t *testing.T) {
+	s := NewPM(1 << 14)
+	s.Apply(trace.Entry{Kind: trace.RegCommitRange, Addr: 0, Size: 8, Addr2: 64, Size2: 8})
+	// Guarded data persisted, then the first commit write, not yet fenced.
+	apply(s, trace.Write, 64, 8)
+	apply(s, trace.CLWB, 64, 8)
+	apply(s, trace.SFence, 0, 0)
+	apply(s, trace.Write, 0, 8)
+
+	f := s.Fork()
+	defer f.Release()
+
+	// Parent: the commit write persists, then the data is re-modified and
+	// re-persisted without a second commit write — semantically
+	// inconsistent under Eq. 3 from the parent's vantage point.
+	apply(s, trace.CLWB, 0, 8)
+	apply(s, trace.SFence, 0, 0)
+	apply(s, trace.Write, 64, 8)
+	apply(s, trace.CLWB, 64, 8)
+	apply(s, trace.SFence, 0, 0)
+
+	fch := f.BeginPostCheck()
+	if fs := fch.OnRead(64, 8); len(fs) != 0 {
+		t.Fatalf("fork OnRead(64) = %+v, want clean (commit write unpersisted at fork)", fs)
+	}
+	sch := s.BeginPostCheck()
+	if fs := sch.OnRead(64, 8); len(fs) != 1 || fs[0].Class != ClassSemantic {
+		t.Fatalf("parent OnRead(64) = %+v, want one semantic bug", fs)
+	}
+
+	// Post-failure recovery re-registering commit variables must stay
+	// local to the fork (idempotent here, but must not touch the parent).
+	f.Apply(trace.Entry{Kind: trace.RegCommitVar, Addr: 0, Size: 8})
+	if f.CommitVarCount() != 1 || s.CommitVarCount() != 1 {
+		t.Fatalf("commit var counts = %d/%d, want 1/1", f.CommitVarCount(), s.CommitVarCount())
+	}
+}
+
+// TestForkStatsAccounting: page refcounts and the shared Stats must track
+// lazily allocated pages, COW clones, and fork release.
+func TestForkStatsAccounting(t *testing.T) {
+	s := NewPM(1 << 20) // 256 potential pages
+	apply(s, trace.Write, 0, 8)
+	apply(s, trace.Write, 4096, 8)
+	if _, pages := s.MemStats(); pages != 2 {
+		t.Fatalf("pages after two writes = %d, want 2 (lazy)", pages)
+	}
+	peakBefore, _ := s.MemStats()
+
+	f := s.Fork()
+	// Forking allocates nothing.
+	if _, pages := s.MemStats(); pages != 2 {
+		t.Fatalf("pages after fork = %d, want 2", pages)
+	}
+	// Parent write to a shared page privatizes it (one clone)...
+	apply(s, trace.Write, 0, 8)
+	if _, pages := s.MemStats(); pages != 3 {
+		t.Fatalf("pages after COW write = %d, want 3", pages)
+	}
+	// ...and the peak now covers parent + fork.
+	peakShared, _ := s.MemStats()
+	if peakShared <= peakBefore {
+		t.Fatalf("peak %d not above pre-clone peak %d", peakShared, peakBefore)
+	}
+	// Fresh parent pages are invisible to the fork.
+	apply(s, trace.Write, 8192, 8)
+	if got := f.State(8192); got != Unmodified {
+		t.Fatalf("fork sees parent's post-fork page: %v", got)
+	}
+	f.Release()
+
+	live := s.stats.live.Load()
+	// After release the fork's original page 0 is freed; the parent holds
+	// its clone of page 0, the shared page 1, and the fresh page 2.
+	if want := 3 * pageFootprint; live != want {
+		t.Fatalf("live bytes after release = %d, want %d", live, want)
+	}
+}
+
+// TestDenseForkIsDeepCopy: the ablation representation forks by copying
+// the whole table, and Release returns its accounted footprint.
+func TestDenseForkIsDeepCopy(t *testing.T) {
+	s := NewDensePM(1 << 14)
+	apply(s, trace.Write, 0, 8)
+	f := s.Fork()
+	apply(s, trace.CLWB, 0, 8)
+	apply(s, trace.SFence, 0, 0)
+	if got := f.State(0); got != Modified {
+		t.Fatalf("dense fork state = %v, want M", got)
+	}
+	liveForked := s.stats.live.Load()
+	if want := 2 * denseFootprint(s.Size()); liveForked != want {
+		t.Fatalf("live bytes with dense fork = %d, want %d", liveForked, want)
+	}
+	f.Release()
+	if live := s.stats.live.Load(); live != denseFootprint(s.Size()) {
+		t.Fatalf("live bytes after release = %d, want %d", live, denseFootprint(s.Size()))
+	}
+	if peak, _ := s.MemStats(); peak != uint64(liveForked) {
+		t.Fatalf("peak = %d, want %d", peak, liveForked)
+	}
+}
+
+// TestMixedStateLineFencePath pins the semantics the lost-range-batch
+// mutant breaks: a line flushed whole (full fast path) and then partially
+// re-modified must keep its Modified bytes unpersisted across the fence.
+func TestMixedStateLineFencePath(t *testing.T) {
+	for _, mk := range []func(uint64) *PM{NewPM, NewDensePM} {
+		s := mk(4096)
+		apply(s, trace.Write, 0, 64) // whole line
+		apply(s, trace.CLWB, 0, 64)  // uniformly WritebackPending
+		apply(s, trace.Write, 8, 8)  // re-modify: line is now mixed W/M
+		apply(s, trace.SFence, 0, 0)
+		if got := s.State(0); got != Persisted {
+			t.Errorf("dense=%v: state(0) = %v, want P", s.Dense(), got)
+		}
+		if got := s.State(8); got != Modified {
+			t.Errorf("dense=%v: state(8) = %v, want M (not covered by the fence)", s.Dense(), got)
+		}
+		if got := s.State(16); got != Persisted {
+			t.Errorf("dense=%v: state(16) = %v, want P", s.Dense(), got)
+		}
+	}
+}
+
+// TestLostRangeBatchMutantFlipsMixedLine: with the mutation switch on, the
+// sparse fence mis-persists the re-modified bytes — the observable defect
+// the differential suites must catch.
+func TestLostRangeBatchMutantFlipsMixedLine(t *testing.T) {
+	SetLostRangeBatchForTest(true)
+	defer SetLostRangeBatchForTest(false)
+	s := NewPM(4096)
+	apply(s, trace.Write, 0, 64)
+	apply(s, trace.CLWB, 0, 64)
+	apply(s, trace.Write, 8, 8)
+	apply(s, trace.SFence, 0, 0)
+	if got := s.State(8); got != Persisted {
+		t.Fatalf("mutant state(8) = %v, want the unsound P", got)
+	}
+}
+
+// randomEntries generates a deterministic pseudo-random pre-failure
+// workload over a small pool: stores, NT stores, flushes, fences,
+// transactions, allocations, and commit-variable registrations.
+func randomEntries(rng *rand.Rand, n int, poolSize uint64) []trace.Entry {
+	var out []trace.Entry
+	txDepth := 0
+	for i := 0; i < n; i++ {
+		addr := uint64(rng.Intn(int(poolSize)))
+		size := uint64(1 + rng.Intn(128))
+		ip := fmt.Sprintf("rnd.go:%d", rng.Intn(12))
+		switch rng.Intn(12) {
+		case 0, 1, 2:
+			out = append(out, trace.Entry{Kind: trace.Write, Addr: addr, Size: size, IP: ip})
+		case 3:
+			out = append(out, trace.Entry{Kind: trace.NTStore, Addr: addr, Size: size, IP: ip})
+		case 4, 5:
+			out = append(out, trace.Entry{Kind: trace.CLWB, Addr: addr, Size: size, IP: ip})
+		case 6, 7:
+			out = append(out, trace.Entry{Kind: trace.SFence})
+		case 8:
+			out = append(out, trace.Entry{Kind: trace.TxBegin})
+			txDepth++
+		case 9:
+			if txDepth > 0 {
+				out = append(out, trace.Entry{Kind: trace.TxAdd, Addr: addr, Size: size, IP: ip})
+			}
+		case 10:
+			if txDepth > 0 {
+				out = append(out, trace.Entry{Kind: trace.TxCommit})
+				txDepth--
+			}
+		case 11:
+			if rng.Intn(4) == 0 {
+				out = append(out, trace.Entry{Kind: trace.RegCommitRange,
+					Addr: addr &^ 7, Size: 8, Addr2: uint64(rng.Intn(int(poolSize))), Size2: size})
+			} else {
+				out = append(out, trace.Entry{Kind: trace.AtomicAlloc, Addr: addr, Size: size, IP: ip})
+			}
+		}
+	}
+	for ; txDepth > 0; txDepth-- {
+		out = append(out, trace.Entry{Kind: trace.TxCommit})
+	}
+	return out
+}
+
+// TestSparseDenseEquivalence replays random workloads into both
+// representations and requires byte-identical metadata and post-check
+// classifications — the in-package analogue of the fuzzer's dense-shadow
+// differential config.
+func TestSparseDenseEquivalence(t *testing.T) {
+	const poolSize = 3*pageBytes + 128 // deliberately not page-aligned
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sp, de := NewPM(poolSize), NewDensePM(poolSize)
+		for _, e := range randomEntries(rng, 400, poolSize) {
+			sp.Apply(e)
+			de.Apply(e)
+		}
+		for b := uint64(0); b < poolSize; b++ {
+			if sp.State(b) != de.State(b) || sp.WriteEpoch(b) != de.WriteEpoch(b) ||
+				sp.PersistEpoch(b) != de.PersistEpoch(b) || sp.TxProtected(b) != de.TxProtected(b) ||
+				sp.WriterIP(b) != de.WriterIP(b) {
+				t.Fatalf("seed %d: byte %d diverges: sparse (%v e%d p%d tx%v %q) dense (%v e%d p%d tx%v %q)",
+					seed, b,
+					sp.State(b), sp.WriteEpoch(b), sp.PersistEpoch(b), sp.TxProtected(b), sp.WriterIP(b),
+					de.State(b), de.WriteEpoch(b), de.PersistEpoch(b), de.TxProtected(b), de.WriterIP(b))
+			}
+		}
+		cs, cd := sp.BeginPostCheck(), de.BeginPostCheck()
+		for off := uint64(0); off < poolSize; off += 64 {
+			fs, fd := cs.OnRead(off, 64), cd.OnRead(off, 64)
+			if len(fs) != len(fd) {
+				t.Fatalf("seed %d read@%d: %d sparse vs %d dense findings", seed, off, len(fs), len(fd))
+			}
+			for i := range fs {
+				if fs[i] != fd[i] {
+					t.Fatalf("seed %d read@%d: finding %d: %+v vs %+v", seed, off, i, fs[i], fd[i])
+				}
+			}
+		}
+		if cs.Benign != cd.Benign {
+			t.Fatalf("seed %d: benign %d sparse vs %d dense", seed, cs.Benign, cd.Benign)
+		}
+	}
+}

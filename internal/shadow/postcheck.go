@@ -8,8 +8,15 @@ package shadow
 // they are tracked in a per-failure-point overlay. The paper's first
 // optimization (check only the first read of each location) is implemented
 // with a per-failure-point "checked" marker. Both use generation counters
-// over preallocated arrays so that checking a failure point allocates
-// nothing proportional to pool size.
+// over the per-byte scratch arrays so that checking a failure point
+// allocates nothing proportional to pool size.
+//
+// In the sparse representation the scratch lives inside the shadow pages:
+// a page never touched pre-failure needs no overlay or checked marks,
+// because every byte of it has writeEpoch 0 and classifies OK on every
+// read — so the checker skips unallocated pages entirely. On a fork, the
+// first scratch update of a shared page privatizes it (writablePage), so
+// concurrent failure points never see each other's overlay.
 
 // Class is the classification of a post-failure read.
 type Class uint8
@@ -74,8 +81,24 @@ func (s *PM) BeginPostCheck() *PostChecker {
 func (c *PostChecker) OnWrite(addr, size uint64) {
 	s := c.pm
 	addr, end := s.clip(addr, size)
-	for b := addr; b < end; b++ {
-		s.postWrittenGen[b] = s.postGen
+	if s.dense {
+		for b := addr; b < end; b++ {
+			s.d.postWritten[b] = s.postGen
+		}
+		return
+	}
+	for b := addr; b < end; {
+		pi, lo, hi, next := pageSpan(b, end)
+		if s.pages[pi] == nil {
+			// Untouched slab: every byte has writeEpoch 0 and classifies
+			// OK with or without the overlay mark, so no page is allocated
+			// for post-failure scratch.
+			b = next
+			continue
+		}
+		pg := s.writablePage(pi)
+		fillU32(pg.postWritten[lo:hi], s.postGen)
+		b = next
 	}
 }
 
@@ -89,46 +112,72 @@ func (c *PostChecker) OnRead(addr, size uint64) []Finding {
 	var findings []Finding
 	var cur *Finding
 	flush := func() { cur = nil }
-	for b := addr; b < end; b++ {
-		if s.postWrittenGen[b] == s.postGen {
-			flush()
-			continue
-		}
-		if s.checkedGen[b] == s.postGen {
-			flush()
-			continue
-		}
-		s.checkedGen[b] = s.postGen
-		class, st := c.classify(b)
+	emit := func(b uint64, class Class, st PersistState) {
 		switch class {
 		case ClassOK:
 			flush()
-			continue
+			return
 		case ClassBenign:
 			c.Benign++
 			flush()
-			continue
+			return
 		}
 		wip := s.WriterIP(b)
 		if cur != nil && cur.Class == class && cur.WriterIP == wip && cur.Addr+cur.Size == b {
 			cur.Size++
-			continue
+			return
 		}
 		findings = append(findings, Finding{Class: class, Addr: b, Size: 1, WriterIP: wip, State: st})
 		cur = &findings[len(findings)-1]
 	}
+	if s.dense {
+		d := s.d
+		for b := addr; b < end; b++ {
+			if d.postWritten[b] == s.postGen || d.checked[b] == s.postGen {
+				flush()
+				continue
+			}
+			d.checked[b] = s.postGen
+			class, st := c.classify(b, d.state[b], d.writeEpoch[b], d.persistEpoch[b], d.txSafe[b])
+			emit(b, class, st)
+		}
+		return findings
+	}
+	for b := addr; b < end; {
+		pi, lo, hi, next := pageSpan(b, end)
+		if s.pages[pi] == nil {
+			// Never written pre-failure: every byte classifies OK (and,
+			// unlike the dense path, needs no checked mark — re-reading
+			// yields the same OK without scratch).
+			flush()
+			b = next
+			continue
+		}
+		pg := s.writablePage(pi)
+		for i := lo; i < hi; i++ {
+			if pg.postWritten[i] == s.postGen || pg.checked[i] == s.postGen {
+				flush()
+				continue
+			}
+			pg.checked[i] = s.postGen
+			bb := b + uint64(i-lo)
+			class, st := c.classify(bb, pg.state[i], pg.writeEpoch[i], pg.persistEpoch[i], pg.txSafe[i])
+			emit(bb, class, st)
+		}
+		b = next
+	}
 	return findings
 }
 
-// classify implements the check order of §5.4: consistency first (a
-// consistent location is certainly bug-free), then persistence, then
-// semantic consistency for persisted data.
-func (c *PostChecker) classify(b uint64) (Class, PersistState) {
+// classify implements the check order of §5.4 for the byte at b, given its
+// per-byte metadata: consistency first (a consistent location is certainly
+// bug-free), then persistence, then semantic consistency for persisted
+// data.
+func (c *PostChecker) classify(b uint64, st PersistState, writeEpoch, persistEpoch uint32, txSafe bool) (Class, PersistState) {
 	s := c.pm
-	st := s.state[b]
 	// Not modified during the pre-failure stage: a cross-failure bug
 	// requires a pre-failure writer (§2.2).
-	if s.writeEpoch[b] == 0 {
+	if writeEpoch == 0 {
 		return ClassOK, st
 	}
 	// Reading a commit variable is a benign cross-failure race.
@@ -137,7 +186,7 @@ func (c *PostChecker) classify(b uint64) (Class, PersistState) {
 	}
 	// Undo-log protection: TX_ADDed (or transactionally allocated) data is
 	// recoverable no matter where the failure hits.
-	if s.txSafe[b] {
+	if txSafe {
 		return ClassOK, st
 	}
 	// Cross-failure race: not guaranteed persisted before the failure.
@@ -146,7 +195,7 @@ func (c *PostChecker) classify(b uint64) (Class, PersistState) {
 	}
 	// Persisted, but possibly semantically inconsistent (Eq. 3).
 	if cv := s.assocFor(b); cv != nil {
-		if !semanticallyConsistent(cv, s.writeEpoch[b], s.persistEpoch[b]) {
+		if !semanticallyConsistent(cv, writeEpoch, persistEpoch) {
 			return ClassSemantic, st
 		}
 	}

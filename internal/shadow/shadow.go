@@ -17,6 +17,15 @@
 //     TX_ADD semantics, §5.4: "objects that have been added to the
 //     transaction are regarded as consistent").
 //
+// The metadata lives in lazily allocated 4 KiB shadow pages (page.go), so
+// memory is proportional to the bytes the execution touches rather than to
+// the pool size, and the hot FSM transitions fast-path uniform cache lines
+// and pages with range fills instead of per-byte loops. The previous dense
+// full-pool representation is preserved (dense.go, NewDensePM) as an
+// ablation knob and differential-testing reference. Parallel detection
+// captures copy-on-write forks of the shadow per failure point (Fork in
+// page.go).
+//
 // Commit variables (§3.2) are registered through RegCommitVar /
 // RegCommitRange trace entries; see commit.go for the Eq. 3 consistency
 // rule. Post-failure reads are classified by a PostChecker; see
@@ -94,21 +103,27 @@ type PerfBug struct {
 
 // PM is the shadow persistent memory for one pool.
 type PM struct {
-	size uint64
+	size  uint64
+	dense bool
 
-	state        []PersistState
-	writeEpoch   []uint32 // epoch of last write; 0 = never written
-	persistEpoch []uint32 // epoch at which the byte last became persisted
-	writerIdx    []uint32 // 1-based index into writers; 0 = none
-	txSafe       []bool   // protected by a (committed or active) undo entry
-	txAddGen     []uint32 // generation of the tx that last covered the byte
-	txExplicit   []uint32 // generation of the tx that last TX_ADDed the byte explicitly
+	// pages is the sparse (default) representation: lazily allocated
+	// 4 KiB shadow pages, nil where the pool was never touched (all bytes
+	// Unmodified, writeEpoch 0). See page.go.
+	pages []*page
+	// d is the dense ablation representation (NewDensePM). See dense.go.
+	d *denseState
 
 	writers   []string // interned writer locations
 	writerIDs map[string]uint32
 
-	pendingLines map[uint64]struct{} // line indices with writeback-pending bytes
-	clock        uint32              // global timestamp; increments after each SFence
+	// pendingLines maps each cache-line start address with
+	// writeback-pending bytes to whether the whole line was uniformly
+	// WritebackPending when marked ("full"). Full lines take the fence's
+	// range-fill fast path; a store that re-modifies bytes of a pending
+	// line demotes it to the per-byte path (demotePendingLines). The
+	// dense fence ignores the flag and always scans per byte.
+	pendingLines map[uint64]bool
+	clock        uint32 // global timestamp; increments after each SFence
 
 	txDepth int
 	txGen   uint32
@@ -124,31 +139,43 @@ type PM struct {
 
 	onPerf func(PerfBug) // optional performance-bug callback
 
-	// Post-failure check scratch, reused across failure points via the
-	// generation counter (see postcheck.go).
-	postWrittenGen []uint32
-	checkedGen     []uint32
-	postGen        uint32
+	// postGen is the post-failure check generation counter (postcheck.go);
+	// the per-byte scratch lives in the pages/dense arrays.
+	postGen uint32
+
+	// stats is the run-wide shadow memory accounting, shared with forks.
+	stats *Stats
 }
 
-// NewPM returns a shadow for a pool of the given size with the clock at
-// epoch 1 (epoch 0 is reserved for "never").
+// NewPM returns a sparse paged shadow for a pool of the given size with
+// the clock at epoch 1 (epoch 0 is reserved for "never").
 func NewPM(size uint64) *PM {
 	return &PM{
-		size:           size,
-		state:          make([]PersistState, size),
-		writeEpoch:     make([]uint32, size),
-		persistEpoch:   make([]uint32, size),
-		writerIdx:      make([]uint32, size),
-		txSafe:         make([]bool, size),
-		txAddGen:       make([]uint32, size),
-		txExplicit:     make([]uint32, size),
-		writerIDs:      make(map[string]uint32),
-		pendingLines:   make(map[uint64]struct{}),
-		clock:          1,
-		postWrittenGen: make([]uint32, size),
-		checkedGen:     make([]uint32, size),
+		size:         size,
+		pages:        make([]*page, numPages(size)),
+		writerIDs:    make(map[string]uint32),
+		pendingLines: make(map[uint64]bool),
+		clock:        1,
+		stats:        &Stats{},
 	}
+}
+
+// NewDensePM returns a shadow using the dense full-pool-size per-byte
+// representation with per-byte FSM transitions — the ablation reference
+// behind core.Config.DenseShadow. Its report behavior is identical to the
+// sparse default.
+func NewDensePM(size uint64) *PM {
+	s := &PM{
+		size:         size,
+		dense:        true,
+		d:            newDenseState(size),
+		writerIDs:    make(map[string]uint32),
+		pendingLines: make(map[uint64]bool),
+		clock:        1,
+		stats:        &Stats{},
+	}
+	s.stats.grow(denseFootprint(size))
+	return s
 }
 
 // Size returns the shadowed pool size.
@@ -157,25 +184,67 @@ func (s *PM) Size() uint64 { return s.size }
 // Clock returns the current global timestamp.
 func (s *PM) Clock() uint32 { return s.clock }
 
+// Dense reports whether this shadow uses the dense ablation
+// representation.
+func (s *PM) Dense() bool { return s.dense }
+
 // SetPerfBugHandler installs the callback invoked for each performance-bug
 // observation. A nil handler disables reporting.
 func (s *PM) SetPerfBugHandler(f func(PerfBug)) { s.onPerf = f }
 
 // State returns the persistence state of the byte at addr.
-func (s *PM) State(addr uint64) PersistState { return s.state[addr] }
+func (s *PM) State(addr uint64) PersistState {
+	if s.dense {
+		return s.d.state[addr]
+	}
+	if pg := s.pages[addr>>pageShift]; pg != nil {
+		return pg.state[addr&pageMask]
+	}
+	return Unmodified
+}
 
 // WriteEpoch returns the epoch of the last write to addr (0 if never).
-func (s *PM) WriteEpoch(addr uint64) uint32 { return s.writeEpoch[addr] }
+func (s *PM) WriteEpoch(addr uint64) uint32 {
+	if s.dense {
+		return s.d.writeEpoch[addr]
+	}
+	if pg := s.pages[addr>>pageShift]; pg != nil {
+		return pg.writeEpoch[addr&pageMask]
+	}
+	return 0
+}
 
 // PersistEpoch returns the epoch at which addr last became persisted.
-func (s *PM) PersistEpoch(addr uint64) uint32 { return s.persistEpoch[addr] }
+func (s *PM) PersistEpoch(addr uint64) uint32 {
+	if s.dense {
+		return s.d.persistEpoch[addr]
+	}
+	if pg := s.pages[addr>>pageShift]; pg != nil {
+		return pg.persistEpoch[addr&pageMask]
+	}
+	return 0
+}
 
 // TxProtected reports whether addr is covered by undo-log protection.
-func (s *PM) TxProtected(addr uint64) bool { return s.txSafe[addr] }
+func (s *PM) TxProtected(addr uint64) bool {
+	if s.dense {
+		return s.d.txSafe[addr]
+	}
+	if pg := s.pages[addr>>pageShift]; pg != nil {
+		return pg.txSafe[addr&pageMask]
+	}
+	return false
+}
 
 // WriterIP returns the source location of the last writer of addr.
 func (s *PM) WriterIP(addr uint64) string {
-	if i := s.writerIdx[addr]; i != 0 {
+	var i uint32
+	if s.dense {
+		i = s.d.writerIdx[addr]
+	} else if pg := s.pages[addr>>pageShift]; pg != nil {
+		i = pg.writerIdx[addr&pageMask]
+	}
+	if i != 0 {
 		return s.writers[i-1]
 	}
 	return ""
@@ -250,6 +319,44 @@ func (s *PM) Apply(e trace.Entry) {
 	}
 }
 
+// sparseStore applies a store's per-byte effects page by page: the state,
+// epoch, and writer arrays take unconditional range fills, and the txSafe
+// voiding scan runs only on pages that may hold protected bytes.
+func (s *PM) sparseStore(addr, end uint64, w uint32, inTx bool, st PersistState) {
+	for b := addr; b < end; {
+		pi, lo, hi, next := pageSpan(b, end)
+		pg := s.writablePage(pi)
+		fillState(pg.state[lo:hi], st)
+		fillU32(pg.writeEpoch[lo:hi], s.clock)
+		fillU32(pg.writerIdx[lo:hi], w)
+		if pg.anyTxSafe {
+			for i := lo; i < hi; i++ {
+				if pg.txSafe[i] && (!inTx || pg.txAddGen[i] != s.txGen) {
+					// A write outside any transaction, or inside a
+					// transaction that did not TX_ADD this byte, voids the
+					// protection.
+					pg.txSafe[i] = false
+				}
+			}
+		}
+		b = next
+	}
+}
+
+// demotePendingLines drops the fence fast path for lines a store just made
+// non-uniform: a full (all-WritebackPending) line that now contains
+// Modified bytes must take the per-byte fence path again.
+func (s *PM) demotePendingLines(addr, end uint64) {
+	if len(s.pendingLines) == 0 {
+		return
+	}
+	for line := pmem.LineDown(addr); line < end; line += pmem.CacheLineSize {
+		if s.pendingLines[line] {
+			s.pendingLines[line] = false
+		}
+	}
+}
+
 func (s *PM) applyWrite(addr, size uint64, ip string) {
 	addr, end := s.clip(addr, size)
 	if addr == end {
@@ -257,17 +364,11 @@ func (s *PM) applyWrite(addr, size uint64, ip string) {
 	}
 	w := s.internWriter(ip)
 	inTx := s.txDepth > 0
-	for b := addr; b < end; b++ {
-		s.state[b] = Modified
-		s.writeEpoch[b] = s.clock
-		s.writerIdx[b] = w
-		if s.txSafe[b] {
-			// A write outside any transaction, or inside a transaction
-			// that did not TX_ADD this byte, voids the protection.
-			if !inTx || s.txAddGen[b] != s.txGen {
-				s.txSafe[b] = false
-			}
-		}
+	if s.dense {
+		s.denseStore(addr, end, w, inTx, Modified)
+	} else {
+		s.sparseStore(addr, end, w, inTx, Modified)
+		s.demotePendingLines(addr, end)
 	}
 	s.noteCommitWrites(addr, end)
 }
@@ -279,16 +380,31 @@ func (s *PM) applyNTStore(addr, size uint64, ip string) {
 	}
 	w := s.internWriter(ip)
 	inTx := s.txDepth > 0
-	for b := addr; b < end; b++ {
-		s.state[b] = WritebackPending
-		s.writeEpoch[b] = s.clock
-		s.writerIdx[b] = w
-		if s.txSafe[b] && (!inTx || s.txAddGen[b] != s.txGen) {
-			s.txSafe[b] = false
+	if s.dense {
+		s.denseStore(addr, end, w, inTx, WritebackPending)
+		for line := pmem.LineDown(addr); line < end; line += pmem.CacheLineSize {
+			s.pendingLines[line] = true // flag unused by the dense fence
 		}
-	}
-	for line := pmem.LineDown(addr); line < end; line += pmem.CacheLineSize {
-		s.pendingLines[line] = struct{}{}
+	} else {
+		s.sparseStore(addr, end, w, inTx, WritebackPending)
+		for line := pmem.LineDown(addr); line < end; line += pmem.CacheLineSize {
+			lineEnd := line + pmem.CacheLineSize
+			if lineEnd > s.size {
+				lineEnd = s.size
+			}
+			if addr <= line && end >= lineEnd {
+				// The store covers the whole line, so every byte of it is
+				// now WritebackPending: eligible for the fence fast path.
+				// (An earlier partial marking is superseded.)
+				s.pendingLines[line] = true
+			} else if _, ok := s.pendingLines[line]; !ok {
+				// Partial store: bytes outside it may be in any state.
+				// Conservatively take the per-byte fence path — unless the
+				// line is already known fully pending, which a partial NT
+				// store preserves (its bytes end up WritebackPending too).
+				s.pendingLines[line] = false
+			}
+		}
 	}
 	s.noteCommitWrites(addr, end)
 }
@@ -298,42 +414,106 @@ func (s *PM) applyFlush(addr, size uint64, ip string) {
 	limit := pmem.LineUp(addr + size)
 	start, limit = s.clip(start, limit-start)
 	useful := false
-	for line := start; line < limit; line += pmem.CacheLineSize {
-		lineEnd := line + pmem.CacheLineSize
-		if lineEnd > s.size {
-			lineEnd = s.size
-		}
-		for b := line; b < lineEnd; b++ {
-			if s.state[b] == Modified {
-				if unsoundFlushForTest {
-					// Deliberately wrong (see mutation.go): jump straight to
-					// Persisted without waiting for the fence.
-					s.state[b] = Persisted
-					s.persistEpoch[b] = s.clock
-					useful = true
-					continue
-				}
-				s.state[b] = WritebackPending
-				s.pendingLines[line] = struct{}{}
-				useful = true
-			}
-		}
+	if s.dense {
+		s.denseFlush(start, limit, &useful)
+	} else {
+		s.sparseFlush(start, limit, &useful)
 	}
 	if !useful && s.onPerf != nil {
 		s.onPerf(PerfBug{Kind: RedundantFlush, Addr: addr, Size: size, IP: ip})
 	}
 }
 
-func (s *PM) applyFence() {
-	for line := range s.pendingLines {
+// sparseFlush transitions Modified bytes of the flushed lines to
+// WritebackPending. Pages never touched contain nothing modified and are
+// skipped whole; lines that end up uniformly WritebackPending are marked
+// full for the fence fast path.
+func (s *PM) sparseFlush(start, limit uint64, useful *bool) {
+	for line := start; line < limit; line += pmem.CacheLineSize {
 		lineEnd := line + pmem.CacheLineSize
 		if lineEnd > s.size {
 			lineEnd = s.size
 		}
-		for b := line; b < lineEnd; b++ {
-			if s.state[b] == WritebackPending {
-				s.state[b] = Persisted
-				s.persistEpoch[b] = s.clock
+		pi := int(line >> pageShift) // a 64 B line never spans 4 KiB pages
+		pg := s.pages[pi]
+		if pg == nil {
+			continue
+		}
+		lo := int(line & pageMask)
+		hi := lo + int(lineEnd-line)
+		nM, nOther := 0, 0
+		for i := lo; i < hi; i++ {
+			switch pg.state[i] {
+			case Modified:
+				nM++
+			case WritebackPending:
+			default:
+				nOther++
+			}
+		}
+		if nM == 0 {
+			continue
+		}
+		*useful = true
+		pg = s.writablePage(pi)
+		if unsoundFlushForTest {
+			// Deliberately wrong (see mutation.go): jump straight to
+			// Persisted without waiting for the fence.
+			for i := lo; i < hi; i++ {
+				if pg.state[i] == Modified {
+					pg.state[i] = Persisted
+					pg.persistEpoch[i] = s.clock
+				}
+			}
+			continue
+		}
+		if nOther == 0 {
+			// Only Modified and WritebackPending bytes: after the
+			// transition the line is uniformly pending.
+			fillState(pg.state[lo:hi], WritebackPending)
+			s.pendingLines[line] = true
+		} else {
+			for i := lo; i < hi; i++ {
+				if pg.state[i] == Modified {
+					pg.state[i] = WritebackPending
+				}
+			}
+			s.pendingLines[line] = false
+		}
+	}
+}
+
+func (s *PM) applyFence() {
+	if s.dense {
+		s.denseFence()
+	} else {
+		for line, full := range s.pendingLines {
+			lineEnd := line + pmem.CacheLineSize
+			if lineEnd > s.size {
+				lineEnd = s.size
+			}
+			pi := int(line >> pageShift)
+			if s.pages[pi] == nil {
+				continue
+			}
+			pg := s.writablePage(pi)
+			lo := int(line & pageMask)
+			hi := lo + int(lineEnd-line)
+			if full || lostRangeBatchForTest {
+				// Fast path: the whole line is WritebackPending, so the
+				// transition is one range fill per array. The mutation
+				// switch (mutation.go) deliberately takes it for demoted
+				// mixed-state lines too, spuriously persisting their
+				// re-modified bytes.
+				fillState(pg.state[lo:hi], Persisted)
+				fillU32(pg.persistEpoch[lo:hi], s.clock)
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				if pg.state[i] == WritebackPending {
+					pg.state[i] = Persisted
+					pg.persistEpoch[i] = s.clock
+				}
 			}
 		}
 	}
@@ -352,16 +532,27 @@ func (s *PM) applyTxAdd(addr, size uint64, ip string, explicit bool) {
 		// pmobj library reports this as a usage error before it gets here.
 		return
 	}
-	duplicate := explicit
-	for b := addr; b < end; b++ {
-		if s.txExplicit[b] != s.txGen {
-			duplicate = false
+	var duplicate bool
+	if s.dense {
+		duplicate = s.denseTxAdd(addr, end, explicit)
+	} else {
+		duplicate = explicit
+		for b := addr; b < end; {
+			pi, lo, hi, next := pageSpan(b, end)
+			pg := s.writablePage(pi)
+			pg.anyTxSafe = true
+			for i := lo; i < hi; i++ {
+				if pg.txExplicit[i] != s.txGen {
+					duplicate = false
+				}
+				pg.txAddGen[i] = s.txGen
+				if explicit {
+					pg.txExplicit[i] = s.txGen
+				}
+				pg.txSafe[i] = true
+			}
+			b = next
 		}
-		s.txAddGen[b] = s.txGen
-		if explicit {
-			s.txExplicit[b] = s.txGen
-		}
-		s.txSafe[b] = true
 	}
 	s.curTx = append(s.curTx, txRange{addr, end - addr})
 	if duplicate && s.onPerf != nil {
@@ -375,9 +566,17 @@ type txRange struct{ addr, size uint64 }
 // the undo log no longer covers its ranges, so their post-failure safety
 // falls back to the persistence state (the commit's writeback).
 func (s *PM) endTxProtection() {
-	for _, r := range s.curTx {
-		for b := r.addr; b < r.addr+r.size; b++ {
-			s.txSafe[b] = false
+	if s.dense {
+		s.denseEndTxProtection()
+	} else {
+		for _, r := range s.curTx {
+			for b := r.addr; b < r.addr+r.size; {
+				pi, lo, hi, next := pageSpan(b, r.addr+r.size)
+				pg := s.writablePage(pi)
+				fillBool(pg.txSafe[lo:hi], false)
+				b = next
+				// anyTxSafe stays set: the hint is conservative.
+			}
 		}
 	}
 	s.curTx = s.curTx[:0]
@@ -385,15 +584,18 @@ func (s *PM) endTxProtection() {
 
 func (s *PM) applyAtomicAlloc(addr, size uint64, ip string) {
 	addr, end := s.clip(addr, size)
-	w := s.internWriter(ip)
-	for b := addr; b < end; b++ {
-		// Freshly allocated memory has indeterminate content: with a
-		// different allocator it may not be zeroed (paper Bug 2), so it is
-		// modified-but-not-guaranteed-persisted until the program
-		// initializes and persists it.
-		s.state[b] = Modified
-		s.writeEpoch[b] = s.clock
-		s.writerIdx[b] = w
-		s.txSafe[b] = false
+	if addr == end {
+		return
 	}
+	w := s.internWriter(ip)
+	if s.dense {
+		s.denseAtomicAlloc(addr, end, w)
+		return
+	}
+	// Freshly allocated memory has indeterminate content: with a different
+	// allocator it may not be zeroed (paper Bug 2), so it is modified-but-
+	// not-guaranteed-persisted until the program initializes and persists
+	// it. sparseStore with inTx=false also voids any undo-log protection.
+	s.sparseStore(addr, end, w, false, Modified)
+	s.demotePendingLines(addr, end)
 }

@@ -286,12 +286,22 @@ func (h *HashmapAtomic) Insert(key, value uint64) error {
 	e, err := h.po.AllocAtomic(hmaEntSize, func(off uint64) {
 		p.Store64(off+hmaEntKey, key)
 		p.Store64(off+hmaEntVal, value)
-		p.Store64(off+hmaEntNext, head)
-		if !faultIs(h.fault, "hma-skip-entry-persist") {
-			p.Persist(off, hmaEntSize)
+		if faultIs(h.fault, "hma-skip-entry-persist") {
+			p.Store64(off+hmaEntNext, head) // BUG: nothing is written back
+		} else {
+			// Batched-drain construction, as PMDK's flush/drain split
+			// encourages: write the key and value back, link the chain
+			// after the writeback — the entry line is now mixed
+			// writeback-pending/modified at the drain — and persist the
+			// link with its own barrier. Failures inside this window are
+			// scrubbed by recovery (the entry is under the dirty flag).
+			p.CLWB(off, hmaEntSize)
+			p.Store64(off+hmaEntNext, head)
+			p.SFence()
+			p.Persist(off+hmaEntNext, 8)
 		}
 		if faultIs(h.fault, "hma-double-entry-persist") {
-			// BUG (performance): the entry was just persisted above.
+			// BUG (performance): every field was just persisted above.
 			p.Persist(off, hmaEntSize)
 		}
 	})
