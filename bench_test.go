@@ -325,6 +325,45 @@ func BenchmarkAblationShadow(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPruning compares detection per Table 4 workload with
+// crash-state pruning (default: one post-failure execution per distinct
+// crash-state fingerprint) against running every failure point
+// (DisablePruning, the mechanism as the paper states it). The workload
+// configuration repeats the update pass thirty times with identical
+// values, the repetitive-loop shape whose failure points freeze
+// byte-identical crash states; TestPruneEquivalenceAcrossTable4 proves the
+// report-key sets identical either way.
+func BenchmarkAblationPruning(b *testing.B) {
+	for _, w := range bench.Table4() {
+		w := w
+		for _, ablate := range []bool{false, true} {
+			name, ablate := "Pruned", ablate
+			if ablate {
+				name = "NoPrune"
+			}
+			b.Run(w.Name+"/"+name, func(b *testing.B) {
+				var fps, classes, pruned float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(core.Config{
+						PoolSize:       bench.DefaultPoolSize,
+						DisablePruning: ablate,
+					}, w.Target(bench.PruneAblationConfig))
+					if err != nil {
+						b.Fatal(err)
+					}
+					fps += float64(res.FailurePoints)
+					classes += float64(res.CrashStateClasses)
+					pruned += float64(res.PrunedFailurePoints)
+				}
+				n := float64(b.N)
+				b.ReportMetric(fps/n, "failpoints/op")
+				b.ReportMetric(classes/n, "classes/op")
+				b.ReportMetric(pruned/n, "pruned/op")
+			})
+		}
+	}
+}
+
 // BenchmarkShadowPoolSweep sweeps the pool size under a fixed small
 // working set. The shadow representation is what separates the two
 // schemes: the sparse paged shadow allocates per-byte metadata only for

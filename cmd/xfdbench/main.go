@@ -9,6 +9,7 @@
 //	xfdbench -experiment table5     synthetic-bug validation
 //	xfdbench -experiment coverage   Fig. 3: XFDetector vs. pre-failure tools
 //	xfdbench -experiment newbugs    §6.3.2: the four new bugs
+//	xfdbench -experiment pruning    crash-state pruning ablation (class counts + speedup)
 //	xfdbench -experiment all        everything, in paper order
 //
 // It also converts `go test -bench` output into the machine-readable
@@ -79,9 +80,10 @@ func main() {
 		"table5":   bench.WriteTable5,
 		"coverage": bench.WriteCoverage,
 		"newbugs":  bench.NewBugsReport,
+		"pruning":  bench.WritePruneAblation,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table4", "table1", "fig12a", "fig12b", "fig13", "table5", "coverage", "newbugs"} {
+		for _, name := range []string{"table4", "table1", "fig12a", "fig12b", "fig13", "table5", "coverage", "newbugs", "pruning"} {
 			fmt.Fprintf(out, "\n========== %s ==========\n", name)
 			if err := experiments[name](out); err != nil {
 				fatalf("%s: %v", name, err)

@@ -38,6 +38,13 @@ type checkpointLine struct {
 	// in the byte peak). Older checkpoints without them still parse.
 	ShadowPeakBytes uint64 `json:"shadow_peak_bytes,omitempty"`
 	ShadowPages     uint64 `json:"shadow_pages,omitempty"`
+	// Classes and Pruned are only set on the summary line: how many
+	// crash-state classes the run actually post-ran and how many member
+	// failure points it skipped as duplicates (both zero under -no-prune).
+	// Pruned points still write their per-point line, so -merge's coverage
+	// proof is unaffected.
+	Classes int `json:"classes,omitempty"`
+	Pruned  int `json:"pruned,omitempty"`
 }
 
 // summaryFP marks the summary line; real failure points are 0-based.
@@ -155,7 +162,8 @@ func (w *checkpointWriter) record(fp int, fresh []core.Report) {
 // lines do not carry. Written only when the run was not Incomplete.
 func (w *checkpointWriter) recordSummary(res *core.Result, shards int) {
 	line := checkpointLine{FP: summaryFP, Total: res.FailurePoints, Shards: shards,
-		ShadowPeakBytes: res.ShadowPeakBytes, ShadowPages: res.ShadowPages}
+		ShadowPeakBytes: res.ShadowPeakBytes, ShadowPages: res.ShadowPages,
+		Classes: res.CrashStateClasses, Pruned: res.PrunedFailurePoints}
 	for _, rep := range res.Reports {
 		if rep.FailurePoint < 0 {
 			line.Reports = append(line.Reports, rep)

@@ -120,6 +120,65 @@ func TestLoadCheckpointSummary(t *testing.T) {
 	}
 }
 
+// TestMergeZeroTotalWithCheckpointedPoints: a summary claiming a
+// failure-point total of 0 merged with per-point lines used to read as full
+// coverage — missingBelow(done, 0) is 0 — and the union exited 0/1. The
+// checkpoints disagree about the campaign, so the merge must come out
+// Incomplete (exit 3), for the degenerate zero total and for any summary
+// total below a checkpointed failure point.
+func TestMergeZeroTotalWithCheckpointedPoints(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// The zero-total summary marshals without its omitempty total field,
+	// exactly as recordSummary writes it for an empty campaign.
+	zero := write("zero.jsonl", `{"fp":0}
+{"fp":1}
+{"fp":-1}
+`)
+	res, err := mergeCheckpoints([]string{zero}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Fatalf("zero-total summary with 2 checkpointed failure points merged as complete:\n%s", res)
+	}
+	if res.FailurePoints != 0 || res.PostRuns != 2 {
+		t.Errorf("merged totals = %d failure points, %d post-runs; want 0 and 2",
+			res.FailurePoints, res.PostRuns)
+	}
+
+	// Same disagreement with a nonzero total: fp 5 recorded, summary says 3.
+	low := write("low.jsonl", `{"fp":5}
+{"fp":-1,"total":3}
+`)
+	res, err = mergeCheckpoints([]string{low}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Fatalf("checkpointed fp 5 beyond summary total 3 merged as complete:\n%s", res)
+	}
+
+	// A consistent empty campaign — summary total 0, no per-point lines —
+	// still merges complete.
+	empty := write("empty.jsonl", `{"fp":-1}
+`)
+	res, err = mergeCheckpoints([]string{empty}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Errorf("genuinely empty campaign merged as incomplete: %s", res.IncompleteReason)
+	}
+}
+
 // TestWriteKeysEmptySet: zero reports must write zero bytes — the old
 // rendering (a single newline) was byte-identical to a set holding one
 // empty key, confusing the CI diffs of clean workloads.

@@ -73,6 +73,8 @@ func realMain(args []string) int {
 		postTimeout = fs.Duration("post-timeout", 0, "wall-clock deadline per post-failure run (0 = none)")
 		fullCopy    = fs.Bool("full-copy-snapshots", false, "copy the full PM image at every failure point instead of incremental dirty-page snapshots (ablation)")
 		denseShadow = fs.Bool("dense-shadow", false, "use flat per-byte shadow arrays sized to the pool instead of the sparse paged shadow PM (ablation)")
+		noPrune     = fs.Bool("no-prune", false, "run every failure point instead of testing one representative per crash-state class (ablation; the report-key set is identical either way)")
+		updRounds   = fs.Int("update-rounds", 1, "repeat the -updates pass this many times with identical values (the pruning ablation's repetitive-loop shape)")
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
 		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
@@ -129,6 +131,7 @@ func realMain(args []string) int {
 		PostRunTimeout:              *postTimeout,
 		DisableIncrementalSnapshots: *fullCopy,
 		DenseShadow:                 *denseShadow,
+		DisablePruning:              *noPrune,
 	}
 	if *shards > 1 {
 		cfg.ShardCount = *shards
@@ -183,11 +186,12 @@ func realMain(args []string) int {
 	}
 
 	target, err := buildTarget(*workload, *patch, workloads.TargetConfig{
-		InitSize: *initSize,
-		TestSize: *testSize,
-		Updates:  *updates,
-		Removes:  *removes,
-		PostOps:  true,
+		InitSize:     *initSize,
+		TestSize:     *testSize,
+		Updates:      *updates,
+		UpdateRounds: *updRounds,
+		Removes:      *removes,
+		PostOps:      true,
 	})
 	if err != nil {
 		return errorf("%v", err)
@@ -210,8 +214,8 @@ func realMain(args []string) int {
 		ckptW.recordSummary(res, *shards)
 	}
 	if *shards > 1 {
-		fmt.Fprintf(os.Stderr, "shard %d/%d: done — %d post-run(s), %d delegated, %d report(s)\n",
-			*shardIndex, *shards, res.PostRuns, res.OtherShardFailurePoints, len(res.Reports))
+		fmt.Fprintf(os.Stderr, "shard %d/%d: done — %d post-run(s), %d pruned, %d delegated, %d report(s)\n",
+			*shardIndex, *shards, res.PostRuns, res.PrunedFailurePoints, res.OtherShardFailurePoints, len(res.Reports))
 	}
 	fmt.Print(res)
 	if *verbose {

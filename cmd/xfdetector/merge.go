@@ -82,10 +82,21 @@ func mergeCheckpoints(paths []string, strict bool) (*core.Result, error) {
 		res.SkippedFailurePoints = missingBelow(done, maxFP+1)
 	default:
 		res.FailurePoints = total
-		if missing := missingBelow(done, total); missing > 0 {
+		switch {
+		case maxFP >= total:
+			// A per-point line outside [0, total) contradicts the summary.
+			// The degenerate case used to slip through as full coverage: a
+			// summary claiming total 0 merged with nonzero checkpointed
+			// failure points left missingBelow(done, 0) == 0, and the union
+			// exited 0/1 instead of 3. The checkpoints disagree about the
+			// campaign, so the union cannot be shown complete.
+			res.Incomplete = true
+			res.IncompleteReason = fmt.Sprintf("checkpoint records failure point %d but the completion summary claims only %d; these checkpoints describe different campaigns", maxFP, total)
+			res.SkippedFailurePoints = missingBelow(done, total)
+		case missingBelow(done, total) > 0:
 			res.Incomplete = true
 			res.IncompleteReason = fmt.Sprintf("union covers %d of %d failure points", len(done), total)
-			res.SkippedFailurePoints = missing
+			res.SkippedFailurePoints = missingBelow(done, total)
 		}
 	}
 	return res, nil

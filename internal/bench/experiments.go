@@ -26,11 +26,13 @@ type Fig12aRow struct {
 
 // Fig12a runs the §6.2.1 execution-time experiment: each workload performs
 // one insertion under detection (after a one-insertion initialization),
-// with one post-failure operation per failure point.
+// with one post-failure operation per failure point. The paper's campaign
+// runs every failure point, so the reproduction disables crash-state
+// pruning; the pruning win is measured separately (PruneAblation).
 func Fig12a() ([]Fig12aRow, error) {
 	var rows []Fig12aRow
 	for _, w := range Table4() {
-		res, err := core.Run(core.Config{PoolSize: DefaultPoolSize}, w.Target(Fig12Config))
+		res, err := core.Run(core.Config{PoolSize: DefaultPoolSize, DisablePruning: true}, w.Target(Fig12Config))
 		if err != nil {
 			return nil, fmt.Errorf("fig12a %s: %w", w.Name, err)
 		}
@@ -94,7 +96,7 @@ func Fig12b() ([]Fig12bRow, error) {
 		fps := 0
 		for _, mode := range []core.Mode{core.ModeDetect, core.ModeTraceOnly, core.ModeOriginal} {
 			start := time.Now()
-			res, err := core.Run(core.Config{PoolSize: DefaultPoolSize, Mode: mode}, w.Target(Fig12Config))
+			res, err := core.Run(core.Config{PoolSize: DefaultPoolSize, Mode: mode, DisablePruning: true}, w.Target(Fig12Config))
 			if err != nil {
 				return nil, fmt.Errorf("fig12b %s %v: %w", w.Name, mode, err)
 			}
@@ -149,6 +151,82 @@ func WriteFig12b(w io.Writer) error {
 	return nil
 }
 
+// PruneAblationRow is one row of the crash-state pruning ablation: the
+// same workload under the update-heavy PruneAblationConfig with pruning
+// enabled (the default) and disabled.
+type PruneAblationRow struct {
+	Workload      string
+	FailurePoints int
+	// Classes and Pruned are the pruned run's crash-state classes tested
+	// and member failure points skipped; Classes + Pruned == FailurePoints
+	// when every class is clean.
+	Classes int
+	Pruned  int
+	// PrunedSeconds and FullSeconds are total detection times (pre + post)
+	// with and without pruning; Speedup is their ratio.
+	PrunedSeconds float64
+	FullSeconds   float64
+	Speedup       float64
+}
+
+// PruneAblation measures what crash-state pruning buys on each Table 4
+// workload when the pre-failure stage repeats an update pass with
+// identical values — the repetitive loop shape pruning targets. Both runs
+// produce the identical deduplicated report-key set (pinned by
+// TestPruneEquivalenceUpdateHeavy); only the number of post-failure
+// executions differs.
+func PruneAblation() ([]PruneAblationRow, error) {
+	var rows []PruneAblationRow
+	for _, w := range Table4() {
+		full, err := core.Run(core.Config{PoolSize: DefaultPoolSize, DisablePruning: true},
+			w.Target(PruneAblationConfig))
+		if err != nil {
+			return nil, fmt.Errorf("prune ablation %s (no-prune): %w", w.Name, err)
+		}
+		pruned, err := core.Run(core.Config{PoolSize: DefaultPoolSize}, w.Target(PruneAblationConfig))
+		if err != nil {
+			return nil, fmt.Errorf("prune ablation %s: %w", w.Name, err)
+		}
+		fullT := full.PreSeconds + full.PostSeconds
+		prunedT := pruned.PreSeconds + pruned.PostSeconds
+		speedup := 0.0
+		if prunedT > 0 {
+			speedup = fullT / prunedT
+		}
+		rows = append(rows, PruneAblationRow{
+			Workload:      w.Name,
+			FailurePoints: pruned.FailurePoints,
+			Classes:       pruned.CrashStateClasses,
+			Pruned:        pruned.PrunedFailurePoints,
+			PrunedSeconds: prunedT,
+			FullSeconds:   fullT,
+			Speedup:       speedup,
+		})
+	}
+	return rows, nil
+}
+
+// WritePruneAblation renders the pruning ablation table.
+func WritePruneAblation(w io.Writer) error {
+	rows, err := PruneAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Pruning ablation — crash-state classes vs. failure points (update-heavy config)")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %12s %12s %9s\n",
+		"workload", "#FPs", "classes", "pruned", "pruned (s)", "full (s)", "speedup")
+	geo := 1.0
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %8d %8d %12.4f %12.4f %8.1fx\n",
+			r.Workload, r.FailurePoints, r.Classes, r.Pruned,
+			r.PrunedSeconds, r.FullSeconds, r.Speedup)
+		geo *= r.Speedup + 1e-9
+	}
+	fmt.Fprintf(w, "geomean speedup %.1fx; report-key sets identical with and without pruning\n",
+		pow(geo, 1/float64(len(rows))))
+	return nil
+}
+
 // Fig13Row is one point of Fig. 13: detection time and failure points as
 // the number of pre-failure transactions scales.
 type Fig13Row struct {
@@ -167,7 +245,9 @@ func Fig13() ([]Fig13Row, error) {
 	for _, m := range workloads.Makers() {
 		for _, n := range Fig13Transactions {
 			cfg := workloads.TargetConfig{InitSize: 1, TestSize: n, PostOps: true}
-			res, err := core.Run(core.Config{PoolSize: 16 << 20},
+			// Unpruned like Fig12a: the paper's linear time-per-failure-point
+			// shape is a property of running every failure point.
+			res, err := core.Run(core.Config{PoolSize: 16 << 20, DisablePruning: true},
 				workloads.DetectionTarget(m, cfg))
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s n=%d: %w", m.Name, n, err)

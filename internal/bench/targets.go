@@ -29,6 +29,20 @@ func RedisTarget(opts pmredis.Options, cfg workloads.TargetConfig) core.Target {
 					return err
 				}
 			}
+			rounds := cfg.UpdateRounds
+			if rounds < 1 {
+				rounds = 1
+			}
+			for r := 0; r < rounds; r++ {
+				// Identical values every round: from the second round on the
+				// server revisits byte-identical PM states, the repetition
+				// the crash-state pruning ablation measures.
+				for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
+					if _, err := db.Do(fmt.Sprintf("SET key:%d upd:%d", i, i)); err != nil {
+						return err
+					}
+				}
+			}
 			for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
 				if _, err := db.Do(fmt.Sprintf("DEL key:%d", i)); err != nil {
 					return err
@@ -69,9 +83,15 @@ func MemcachedTarget(cfg workloads.TargetConfig) core.Target {
 					return err
 				}
 			}
-			for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
-				if _, err := m.Do(fmt.Sprintf("set key%d updated%d", i, i)); err != nil {
-					return err
+			rounds := cfg.UpdateRounds
+			if rounds < 1 {
+				rounds = 1
+			}
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
+					if _, err := m.Do(fmt.Sprintf("set key%d updated%d", i, i)); err != nil {
+						return err
+					}
 				}
 			}
 			for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
@@ -151,3 +171,12 @@ const DefaultPoolSize = 4 << 20
 // with one insertion and then tested with one insertion, with one
 // post-failure operation per failure point.
 var Fig12Config = workloads.TargetConfig{InitSize: 1, TestSize: 1, PostOps: true}
+
+// PruneAblationConfig is the crash-state pruning ablation's workload
+// configuration: a small structure whose update pass is repeated thirty
+// times with identical values, so the bulk of the failure points freeze
+// byte-identical crash states and a pruned run tests each distinct class
+// once. BenchmarkAblationPruning and the EXPERIMENTS.md ablation use it.
+var PruneAblationConfig = workloads.TargetConfig{
+	InitSize: 2, TestSize: 1, Updates: 2, UpdateRounds: 30, PostOps: true,
+}

@@ -73,6 +73,19 @@ type Config struct {
 	// and copy-on-write forks. For ablation measurements; the report set
 	// is identical either way.
 	DenseShadow bool
+	// DisablePruning turns off crash-state pruning. By default the detector
+	// fingerprints the shadow state at each failure point
+	// (shadow.CrashFingerprint), groups failure points whose crash states
+	// are indistinguishable to the post-failure checker into classes, runs
+	// post-failure detection once per class, and attributes the clean
+	// verdict to the remaining members (Result.PrunedFailurePoints /
+	// Result.CrashStateClasses). A class whose representative reports
+	// anything — a post-failure fault, an abandonment, a cancellation — is
+	// poisoned and every member runs, so value-bearing outcomes are never
+	// attributed across members; the deduplicated report-key set is
+	// identical with and without pruning. For ablation measurements
+	// (xfdetector -no-prune).
+	DisablePruning bool
 	// Workers enables parallelized detection (the future work of §6.2.1):
 	// with Workers > 1, post-failure executions run on that many worker
 	// goroutines, each checking against a copy-on-write fork of the
@@ -223,6 +236,9 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 			r.sh.SetPerfBugHandler(r.onPerfBug)
 		}
 		r.pool.SetFenceHook(r.onOrderingPoint)
+		if !cfg.DisablePruning {
+			r.classes = make(map[uint64]*crashClass)
+		}
 		if cfg.Workers > 1 {
 			r.engine = newParallelEngine(r, cfg.Workers)
 		}
@@ -278,6 +294,8 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		AbandonedPostRuns:    r.abandonedRuns,
 		ResumedFailurePoints: r.resumedFPs,
 		HarnessFaults:        r.harnessFaults,
+		CrashStateClasses:    r.classesTested,
+		PrunedFailurePoints:  r.prunedFPs,
 	}
 	if cfg.ShardCount > 1 {
 		res.ShardCount = cfg.ShardCount
@@ -334,6 +352,14 @@ type runner struct {
 
 	// engine is non-nil when parallel detection is enabled.
 	engine *parallelEngine
+
+	// pruneMu guards the crash-state pruning state (prune.go): the
+	// pre-failure thread files failure points into classes while parallel
+	// workers resolve class verdicts.
+	pruneMu       sync.Mutex
+	classes       map[uint64]*crashClass
+	classesTested int
+	prunedFPs     int
 
 	// sinkMu serializes trace recording and failure injection, so
 	// multithreaded mutators are traced safely (§7: the paper's frontend
@@ -526,20 +552,31 @@ func (r *runner) injectFailure() {
 		r.degradeMu.Unlock()
 		return
 	}
+	var cls *crashClass
+	if r.pruning() {
+		var handled bool
+		cls, handled = r.enterClass(fpID)
+		if handled {
+			return
+		}
+	}
 	if r.engine != nil {
 		snap, err := r.snapshotWithRetry()
 		if err != nil {
 			r.noteQuarantined(fpID, err)
+			// The representative never ran; poison the class so its parked
+			// members execute instead of waiting forever.
+			r.resolveClass(cls, false)
 			return
 		}
-		r.postRuns++
+		r.notePostRun()
 		// Fork under sinkMu: the pre-failure execution is suspended, so
 		// the fork captures exactly the failure point's shadow state.
-		r.engine.submit(fpWork{id: fpID, fork: r.sh.Fork(), snap: snap})
+		r.engine.submit(fpWork{id: fpID, fork: r.sh.Fork(), snap: snap, cls: cls})
 		return
 	}
 	start := time.Now()
-	r.runPost(fpID)
+	r.runPost(fpID, cls)
 	r.postTime += time.Since(start)
 }
 
@@ -625,8 +662,8 @@ func (g *postGate) enter() {
 	}
 }
 
-func (r *runner) runPost(fpID int) {
-	r.postRuns++
+func (r *runner) runPost(fpID int, cls *crashClass) {
+	r.notePostRun()
 	out, ok := r.runAttempts(fpID, func() postOutcome {
 		// The image copy contains ALL updates, including non-persisted
 		// ones (footnote 3); the shadow PM is what distinguishes them.
@@ -640,11 +677,13 @@ func (r *runner) runPost(fpID int) {
 		return r.attemptPost(fpID, snap, r.sh)
 	})
 	if !ok {
+		r.resolveClass(cls, false)
 		return
 	}
 	r.benign += out.benign
 	r.postEntries += out.ents
 	r.finishPost(fpID, out)
+	r.resolveClass(cls, out.clean())
 }
 
 // runAttempts applies the retry-once-then-quarantine policy shared by the

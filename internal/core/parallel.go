@@ -47,6 +47,10 @@ type fpWork struct {
 	id   int
 	fork *shadow.PM
 	snap *pmem.Snapshot
+	// cls is non-nil when this failure point is the representative of a
+	// crash-state class (prune.go): the worker resolves the class after the
+	// post-run, pruning or running the members parked behind it.
+	cls *crashClass
 }
 
 // parallelEngine coordinates the worker pool of one detection run.
@@ -127,6 +131,7 @@ func (w *postWorker) check(item fpWork) {
 		return r.attemptPost(item.id, item.snap, item.fork)
 	})
 	if !ok {
+		r.resolveClass(item.cls, false)
 		return
 	}
 	w.eng.mu.Lock()
@@ -134,6 +139,7 @@ func (w *postWorker) check(item fpWork) {
 	w.eng.postEnts += out.ents
 	w.eng.mu.Unlock()
 	r.finishPost(item.id, out)
+	r.resolveClass(item.cls, out.clean())
 }
 
 // safePostCall runs the post-failure stage, converting panics into

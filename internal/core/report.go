@@ -158,8 +158,19 @@ type Result struct {
 	// FailurePoints is the number of failure points injected.
 	FailurePoints int
 	// PostRuns is the number of post-failure executions spawned (equal to
-	// FailurePoints unless detection terminated early).
+	// FailurePoints unless failure points were pruned, resumed, delegated
+	// to another shard, skipped, or detection terminated early).
 	PostRuns int
+	// CrashStateClasses counts the distinct crash-state fingerprint classes
+	// whose representative post-run executed, and PrunedFailurePoints
+	// counts the failure points skipped because an earlier representative
+	// of their class already completed cleanly (Config.DisablePruning).
+	// For a complete, unresumed campaign
+	// PostRuns + PrunedFailurePoints + OtherShardFailurePoints ==
+	// FailurePoints, and with every class clean PostRuns equals
+	// CrashStateClasses.
+	CrashStateClasses   int
+	PrunedFailurePoints int
 	// PreEntries and PostEntries count traced operations per stage.
 	PreEntries  int
 	PostEntries int
@@ -263,6 +274,10 @@ func (r *Result) String() string {
 	if r.ShadowPeakBytes > 0 {
 		fmt.Fprintf(&b, "shadow: peak %d KiB, %d page(s) allocated\n",
 			(r.ShadowPeakBytes+1023)/1024, r.ShadowPages)
+	}
+	if r.PrunedFailurePoints > 0 {
+		fmt.Fprintf(&b, "pruning: %d crash-state class(es) tested, %d member failure point(s) skipped\n",
+			r.CrashStateClasses, r.PrunedFailurePoints)
 	}
 	if r.ResumedFailurePoints > 0 {
 		fmt.Fprintf(&b, "resumed: %d failure point(s) reused from a checkpoint\n", r.ResumedFailurePoints)

@@ -73,6 +73,13 @@ func CheckSeed(seed int64, knob Knob) error {
 //     verdicts and post-read byte digests alike;
 //   - ModeDetect with failure-point elision disabled: full comparison
 //     against a second oracle evaluation with elision disabled;
+//   - ModeDetect with crash-state pruning enabled (the default; the
+//     configurations above pin DisablePruning because the oracle predicts
+//     every post-run): identical deduplicated key set, exact
+//     PostRuns + PrunedFailurePoints == FailurePoints accounting, every
+//     observed post-read byte digest predicted by the oracle, and
+//     identical pruning decisions across sequential, parallel and
+//     dense-shadow runs;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
 //   - ModeOriginal: no tracing at all.
 //
@@ -104,20 +111,21 @@ func CheckProgram(p Program) error {
 			strings.Join(want.PostReads, " ; "), strings.Join(log.Canonical(), " ; "))
 	}
 
-	if err := checkFull("sequential", want, core.Config{}); err != nil {
+	if err := checkFull("sequential", want, core.Config{DisablePruning: true}); err != nil {
 		return err
 	}
 	for _, w := range diffWorkers {
-		if err := checkFull(fmt.Sprintf("workers=%d", w), want, core.Config{Workers: w}); err != nil {
+		if err := checkFull(fmt.Sprintf("workers=%d", w), want,
+			core.Config{Workers: w, DisablePruning: true}); err != nil {
 			return err
 		}
 	}
 	if err := checkFull("no-incremental-snapshots", want,
-		core.Config{DisableIncrementalSnapshots: true}); err != nil {
+		core.Config{DisableIncrementalSnapshots: true, DisablePruning: true}); err != nil {
 		return err
 	}
 	if err := checkFull("dense-shadow", want,
-		core.Config{DenseShadow: true}); err != nil {
+		core.Config{DenseShadow: true, DisablePruning: true}); err != nil {
 		return err
 	}
 
@@ -126,7 +134,7 @@ func CheckProgram(p Program) error {
 		return err
 	}
 	if err := checkFull("no-elision", wantNoElide,
-		core.Config{DisableFailurePointElision: true}); err != nil {
+		core.Config{DisableFailurePointElision: true, DisablePruning: true}); err != nil {
 		return err
 	}
 	if len(wantNoElide.Keys) != len(want.Keys) {
@@ -134,6 +142,45 @@ func CheckProgram(p Program) error {
 		// failure points — a property of the oracle itself worth pinning.
 		return &Mismatch{Program: p, Config: "oracle", Field: "elision-invariance",
 			Want: strings.Join(want.Keys, " ; "), Got: strings.Join(wantNoElide.Keys, " ; ")}
+	}
+
+	// Crash-state pruning (the default) skips failure points whose crash
+	// state a clean class representative already covered. Its soundness
+	// contract is the identical deduplicated key set; its determinism
+	// contract is that sequential, parallel and dense-shadow runs make the
+	// identical pruning decisions (the dense run doubles as a
+	// sparse-vs-dense fingerprint parity check).
+	prunedCfgs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"pruned", core.Config{}},
+		{"pruned-workers=2", core.Config{Workers: 2}},
+		{"pruned-dense", core.Config{DenseShadow: true}},
+	}
+	var prunedResults []*core.Result
+	for _, pc := range prunedCfgs {
+		res, err := checkPruned(p, pc.name, want, pc.cfg)
+		if err != nil {
+			return err
+		}
+		prunedResults = append(prunedResults, res)
+	}
+	base := prunedResults[0]
+	for i, res := range prunedResults[1:] {
+		name := prunedCfgs[i+1].name
+		if err := compare(p, name, "pruned-post-runs",
+			fmt.Sprint(base.PostRuns), fmt.Sprint(res.PostRuns)); err != nil {
+			return err
+		}
+		if err := compare(p, name, "pruned-failure-points",
+			fmt.Sprint(base.PrunedFailurePoints), fmt.Sprint(res.PrunedFailurePoints)); err != nil {
+			return err
+		}
+		if err := compare(p, name, "crash-state-classes",
+			fmt.Sprint(base.CrashStateClasses), fmt.Sprint(res.CrashStateClasses)); err != nil {
+			return err
+		}
 	}
 
 	traceOnly, _, err := run(core.Config{Mode: core.ModeTraceOnly})
@@ -161,6 +208,51 @@ func CheckProgram(p Program) error {
 		return err
 	}
 	return nil
+}
+
+// checkPruned runs p with crash-state pruning enabled (the default
+// configuration) and verifies its soundness against the brute-force
+// oracle: the identical deduplicated report-key set, the identical
+// failure-point count and pre-entries, exact accounting
+// (PostRuns + PrunedFailurePoints == FailurePoints), and every observed
+// post-failure read byte digest predicted by the oracle for exactly that
+// failure point and load — pruned members simply observe nothing. It
+// returns the result so CheckProgram can pin cross-configuration
+// determinism of the pruning decisions themselves.
+func checkPruned(p Program, config string, want *OracleResult, cfg core.Config) (*core.Result, error) {
+	cfg.PoolSize = p.PoolSize
+	log := &PostReadLog{}
+	res, err := core.Run(cfg, BuildTargetRecording(p, log))
+	if err != nil {
+		return nil, fmt.Errorf("fuzzgen: %q: harness error: %w", p.Name, err)
+	}
+	if err := compare(p, config, "keys", strings.Join(want.Keys, " ; "), joinKeys(res)); err != nil {
+		return nil, err
+	}
+	if err := compare(p, config, "failure-points",
+		fmt.Sprint(want.FailurePoints), fmt.Sprint(res.FailurePoints)); err != nil {
+		return nil, err
+	}
+	if err := compare(p, config, "pre-entries",
+		fmt.Sprint(want.PreEntries), fmt.Sprint(res.PreEntries)); err != nil {
+		return nil, err
+	}
+	if err := compare(p, config, "post-run-accounting",
+		fmt.Sprint(res.FailurePoints),
+		fmt.Sprint(res.PostRuns+res.PrunedFailurePoints)); err != nil {
+		return nil, err
+	}
+	predicted := make(map[string]bool, len(want.PostReads))
+	for _, d := range want.PostReads {
+		predicted[d] = true
+	}
+	for _, d := range log.Canonical() {
+		if !predicted[d] {
+			return nil, &Mismatch{Program: p, Config: config, Field: "post-read-bytes",
+				Want: strings.Join(want.PostReads, " ; "), Got: d}
+		}
+	}
+	return res, nil
 }
 
 // ResultKeys returns a result's sorted report deduplication keys.

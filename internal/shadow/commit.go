@@ -103,6 +103,17 @@ func (s *PM) noteCommitWrites(addr, end uint64) {
 		cv.last = commitWrite{writeEpoch: s.clock}
 		cv.nWrites++
 		cv.pendingPersist = true
+		// The record change flips Eq. 3 outcomes for the variable's
+		// associated bytes without touching their pages; drop those pages'
+		// cached fingerprint hashes. (noteCommitPersists needs no such
+		// invalidation: Eq. 3 never reads last.persistEpoch, and prev's
+		// persist epoch is only consulted after the next record change,
+		// which invalidates here.)
+		for _, a := range s.assocs {
+			if s.commitVars[a.varIdx] == cv {
+				s.invalidateRangeFP(a.addr, a.size)
+			}
+		}
 	}
 }
 

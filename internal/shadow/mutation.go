@@ -48,3 +48,31 @@ var lostRangeBatchForTest bool
 // SetLostRangeBatchForTest toggles the deliberate range-batch mis-model.
 // Callers must not toggle it while a detection run is in flight.
 func SetLostRangeBatchForTest(on bool) { lostRangeBatchForTest = on }
+
+// collidingFingerprintForTest breaks crash-state fingerprinting's
+// injectivity: every non-empty page hashes to one constant, so the
+// fingerprint degenerates to a function of the touched-page set and the
+// commit-variable geometry. Distinct crash states then collide, the pruning
+// layer groups them into one class, and bugs reachable only from the
+// non-representative states are silently skipped — the exact soundness
+// hazard a fingerprint-based pruner must exclude. The mutation suite proves
+// the differential fuzzer and the Table 4 equivalence tests catch it.
+var collidingFingerprintForTest bool
+
+// SetCollidingFingerprintForTest toggles the deliberate fingerprint
+// collision. Callers must not toggle it while a detection run is in flight.
+func SetCollidingFingerprintForTest(on bool) { collidingFingerprintForTest = on }
+
+// staleFenceFingerprintForTest breaks the fingerprint cache's invalidation
+// contract: a fence processing a pending line no longer drops the line's
+// page hash — and the page ignores every later invalidation too — so the
+// cached hash is frozen at a previous failure point's state while the true
+// state moves on. Later, genuinely distinct crash states then alias the
+// frozen one and are pruned without testing. A one-shot staleness would be
+// provably harmless (a later, cleaner state aliasing an earlier dirtier
+// one only over-reports), which is why the mutant is sticky.
+var staleFenceFingerprintForTest bool
+
+// SetStaleFenceFingerprintForTest toggles the deliberate fence-invalidation
+// omission. Callers must not toggle it while a detection run is in flight.
+func SetStaleFenceFingerprintForTest(on bool) { staleFenceFingerprintForTest = on }

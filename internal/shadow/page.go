@@ -53,6 +53,17 @@ type page struct {
 	// page has undo-log protection, which lets the store fast path skip
 	// the per-byte txSafe scan. Set by applyTxAdd and never cleared.
 	anyTxSafe bool
+
+	// fpHash caches the page's crash-state fingerprint hash
+	// (fingerprint.go) while fpValid is set; every mutation path drops the
+	// cache. Only the thread advancing the canonical shadow reads or
+	// writes these fields on shared pages — workers touch them only on
+	// pages they privatized — and a COW clone starts with an empty cache.
+	// fpStuck exists solely for the stale-fingerprint mutant
+	// (mutation.go): a stuck page ignores invalidation.
+	fpHash  uint64
+	fpValid bool
+	fpStuck bool
 }
 
 // pageFootprint is the accounted size of one shadow page.
@@ -133,6 +144,11 @@ func (s *PM) writablePage(pi int) *page {
 		np.postWritten = pg.postWritten
 		np.checked = pg.checked
 		np.anyTxSafe = pg.anyTxSafe
+		// The fingerprint cache (fpHash/fpValid) is deliberately not
+		// copied: the clone is about to be mutated, and leaving the cache
+		// empty keeps these fields single-writer on shared pages. The
+		// mutant stickiness does carry over.
+		np.fpStuck = pg.fpStuck
 		s.pages[pi] = np
 		s.dropPageRef(pg)
 		return np

@@ -326,6 +326,7 @@ func (s *PM) sparseStore(addr, end uint64, w uint32, inTx bool, st PersistState)
 	for b := addr; b < end; {
 		pi, lo, hi, next := pageSpan(b, end)
 		pg := s.writablePage(pi)
+		pg.invalidateFP()
 		fillState(pg.state[lo:hi], st)
 		fillU32(pg.writeEpoch[lo:hi], s.clock)
 		fillU32(pg.writerIdx[lo:hi], w)
@@ -456,6 +457,7 @@ func (s *PM) sparseFlush(start, limit uint64, useful *bool) {
 		}
 		*useful = true
 		pg = s.writablePage(pi)
+		pg.invalidateFP()
 		if unsoundFlushForTest {
 			// Deliberately wrong (see mutation.go): jump straight to
 			// Persisted without waiting for the fence.
@@ -497,6 +499,13 @@ func (s *PM) applyFence() {
 				continue
 			}
 			pg := s.writablePage(pi)
+			if staleFenceFingerprintForTest {
+				// Deliberately wrong (see mutation.go): the fence's fill
+				// "forgets" to drop this page's fingerprint cache, and the
+				// page ignores all invalidation from here on.
+				pg.fpStuck = true
+			}
+			pg.invalidateFP()
 			lo := int(line & pageMask)
 			hi := lo + int(lineEnd-line)
 			if full || lostRangeBatchForTest {
@@ -540,6 +549,7 @@ func (s *PM) applyTxAdd(addr, size uint64, ip string, explicit bool) {
 		for b := addr; b < end; {
 			pi, lo, hi, next := pageSpan(b, end)
 			pg := s.writablePage(pi)
+			pg.invalidateFP()
 			pg.anyTxSafe = true
 			for i := lo; i < hi; i++ {
 				if pg.txExplicit[i] != s.txGen {
@@ -573,6 +583,7 @@ func (s *PM) endTxProtection() {
 			for b := r.addr; b < r.addr+r.size; {
 				pi, lo, hi, next := pageSpan(b, r.addr+r.size)
 				pg := s.writablePage(pi)
+				pg.invalidateFP()
 				fillBool(pg.txSafe[lo:hi], false)
 				b = next
 				// anyTxSafe stays set: the hint is conservative.

@@ -75,6 +75,13 @@ type TargetConfig struct {
 	// Updates optionally re-inserts this many existing keys with new
 	// values during the pre-failure stage, exercising update paths.
 	Updates int
+	// UpdateRounds repeats the Updates pass this many times (0 or 1 = one
+	// pass). Every round re-stores the identical values, so from the second
+	// round on the pre-failure execution revisits byte-identical PM states
+	// — the long uniform store runs whose failure points crash-state
+	// pruning collapses. The lever of the pruning ablation
+	// (xfdetector -update-rounds).
+	UpdateRounds int
 	// Fault names the synthetic bug to inject ("" = correct program).
 	Fault string
 	// FaultInCreate moves structure creation from Setup into the
@@ -114,10 +121,16 @@ func DetectionTarget(m Maker, cfg TargetConfig) core.Target {
 				return fmt.Errorf("%s: insert %d: %w", m.Name, i, err)
 			}
 		}
-		for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
-			k := Key(i)
-			if err := st.Insert(k, Value(k)+uint64(i)+7); err != nil {
-				return fmt.Errorf("%s: update %d: %w", m.Name, i, err)
+		rounds := cfg.UpdateRounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < cfg.Updates && i < cfg.InitSize; i++ {
+				k := Key(i)
+				if err := st.Insert(k, Value(k)+uint64(i)+7); err != nil {
+					return fmt.Errorf("%s: update round %d, %d: %w", m.Name, r, i, err)
+				}
 			}
 		}
 		for i := 0; i < cfg.Removes && i < cfg.InitSize; i++ {
