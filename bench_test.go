@@ -13,6 +13,8 @@ package xfd_test
 
 import (
 	"fmt"
+	"path/filepath"
+	"runtime"
 	"testing"
 
 	xfd "github.com/pmemgo/xfdetector"
@@ -408,6 +410,50 @@ func BenchmarkShadowPoolSweep(b *testing.B) {
 				n := float64(b.N)
 				b.ReportMetric(peak/n, "shadow-peak-B/op")
 				b.ReportMetric(pages/n, "shadow-pages/op")
+			})
+		}
+	}
+}
+
+// BenchmarkBackendSweep compares detection per Table 4 workload on the
+// in-memory pool (default) against the file-backed pool, whose durable
+// image advances by range-batched msync at every ordering point and
+// failure-point snapshot. The delta is the price of durability: the
+// dirty-page walks, page copies into the shared mapping, read-back
+// verifications and msync calls. The msync accounting metrics show how
+// much of that work the compare-skip optimization elides.
+func BenchmarkBackendSweep(b *testing.B) {
+	for _, w := range bench.Table4() {
+		w := w
+		for _, file := range []bool{false, true} {
+			name, file := "Memory", file
+			if file {
+				name = "File"
+			}
+			b.Run(w.Name+"/"+name, func(b *testing.B) {
+				if file && runtime.GOOS != "linux" {
+					b.Skip("file-backed pools are linux-only")
+				}
+				var ranges, pages, skipped float64
+				for i := 0; i < b.N; i++ {
+					cfg := core.Config{PoolSize: bench.DefaultPoolSize}
+					if file {
+						cfg.Backend = pmem.FileBackend{Path: filepath.Join(b.TempDir(), "pool.img")}
+					}
+					res, err := core.Run(cfg, w.Target(bench.Fig12Config))
+					if err != nil {
+						b.Fatal(err)
+					}
+					ranges += float64(res.MsyncRanges)
+					pages += float64(res.MsyncPages)
+					skipped += float64(res.MsyncSkipped)
+				}
+				if file {
+					n := float64(b.N)
+					b.ReportMetric(ranges/n, "msync-ranges/op")
+					b.ReportMetric(pages/n, "msync-pages/op")
+					b.ReportMetric(skipped/n, "msync-skipped/op")
+				}
 			})
 		}
 	}

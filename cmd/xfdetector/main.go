@@ -26,9 +26,15 @@ import (
 	"syscall"
 
 	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
 	"github.com/pmemgo/xfdetector/internal/pmredis"
 	"github.com/pmemgo/xfdetector/internal/workloads"
 )
+
+// diskFaultEnv injects one deterministic disk fault class into a
+// file-backed campaign (pmem.DiskFaultHooksFromSpec); the CI smoke uses it
+// to prove the quarantine path end to end.
+const diskFaultEnv = "XFDETECTOR_DISK_FAULT"
 
 var shortNames = map[string]string{
 	"btree":          "B-Tree",
@@ -76,7 +82,9 @@ func realMain(args []string) int {
 		noPrune     = fs.Bool("no-prune", false, "run every failure point instead of testing one representative per crash-state class (ablation; the report-key set is identical either way)")
 		updRounds   = fs.Int("update-rounds", 1, "repeat the -updates pass this many times with identical values (the pruning ablation's repetitive-loop shape)")
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
-		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint")
+		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint (and reopen the -pool-file, skipping the writeback of already-persisted pages)")
+		poolFile    = fs.String("pool-file", "", "back the PM pool with this mmap'd file, persisted with range-batched msync at every ordering point and failure-point snapshot; a fresh campaign refuses an existing file (-resume reopens it). With -spawn the value marks the request and each shard gets <workdir>/shard<i>.pool")
+		workdir     = fs.String("workdir", "", "campaign directory for -spawn: per-shard checkpoints (shard<i>.ckpt) and pool files (shard<i>.pool) are created under it")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
 		shards      = fs.Int("shards", 0, "total shards of a partitioned campaign (this process runs failure points fp%%shards == shard-index)")
 		shardIndex  = fs.Int("shard-index", -1, "this process's shard in [0, shards)")
@@ -106,6 +114,9 @@ func realMain(args []string) int {
 	case *shards <= 1 && *shardIndex >= 0:
 		return errorf("-shard-index requires -shards > 1")
 	}
+	if *workdir != "" && *spawn == 0 {
+		return errorf("-workdir requires -spawn (it lays out the fleet's per-shard pool and checkpoint files)")
+	}
 	if *spawn != 0 {
 		switch {
 		case *spawn < 2:
@@ -114,11 +125,15 @@ func realMain(args []string) int {
 			return errorf("-spawn and -shards are mutually exclusive (-spawn derives the shard layout itself)")
 		case *ckptPath == "":
 			return errorf("-spawn requires -checkpoint: shard checkpoints are what crash recovery and the final merge consume")
+		case *poolFile != "" && *workdir == "":
+			return errorf("-spawn with -pool-file requires -workdir: each shard needs its own pool file (two shards sharing one corrupt each other)")
 		}
 		return runSpawn(spawnConfig{
 			shards:   *spawn,
 			baseArgs: shardBaseArgs(fs),
 			ckptBase: *ckptPath,
+			workdir:  *workdir,
+			poolFile: *poolFile != "",
 			resume:   *resume,
 			keysOut:  *keysOut,
 		})
@@ -132,6 +147,22 @@ func realMain(args []string) int {
 		DisableIncrementalSnapshots: *fullCopy,
 		DenseShadow:                 *denseShadow,
 		DisablePruning:              *noPrune,
+	}
+	// Deterministic disk-fault injection for the degradation smoke tests:
+	// XFDETECTOR_DISK_FAULT=disk-full:N | short-msync:N | torn-mmap:N arms
+	// the class at the N-th msync-range consultation (and its retry), so a
+	// file-backed campaign quarantines exactly the affected failure point.
+	var diskHooks *pmem.FaultHooks
+	if spec := os.Getenv(diskFaultEnv); spec != "" {
+		h, err := pmem.DiskFaultHooksFromSpec(spec)
+		if err != nil {
+			return errorf("%s: %v", diskFaultEnv, err)
+		}
+		diskHooks = h
+		cfg.FaultHooks = h
+	}
+	if *poolFile != "" {
+		cfg.Backend = pmem.FileBackend{Path: *poolFile, Resume: *resume, Hooks: diskHooks}
 	}
 	if *shards > 1 {
 		cfg.ShardCount = *shards
@@ -314,6 +345,7 @@ func shardBaseArgs(fs *flag.FlagSet) []string {
 	owned := map[string]bool{
 		"spawn": true, "merge": true, "shards": true, "shard-index": true,
 		"checkpoint": true, "resume": true, "keys-out": true, "list": true,
+		"pool-file": true, "workdir": true,
 	}
 	var args []string
 	fs.Visit(func(f *flag.Flag) {

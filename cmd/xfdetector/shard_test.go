@@ -19,14 +19,14 @@ import (
 // silently partial campaigns.
 func TestShardFlagValidation(t *testing.T) {
 	for _, args := range []string{
-		"-shards 2",                          // no -shard-index
-		"-shards 2 -shard-index 2",           // index out of range
-		"-shard-index 0",                     // index without -shards
-		"-spawn 2",                           // no -checkpoint
-		"-spawn 1 -checkpoint c",             // fewer than 2 shards
-		"-spawn 2 -shards 2 -checkpoint c",   // conflicting layouts
-		"-merge -spawn 2",                    // conflicting modes
-		"-merge",                             // nothing to merge
+		"-shards 2",                           // no -shard-index
+		"-shards 2 -shard-index 2",            // index out of range
+		"-shard-index 0",                      // index without -shards
+		"-spawn 2",                            // no -checkpoint
+		"-spawn 1 -checkpoint c",              // fewer than 2 shards
+		"-spawn 2 -shards 2 -checkpoint c",    // conflicting layouts
+		"-merge -spawn 2",                     // conflicting modes
+		"-merge",                              // nothing to merge
 		"-merge /nonexistent/definitely.ckpt", // typo'd operand
 	} {
 		if code, out := runCLI(t, args); code != 2 {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"syscall"
@@ -48,6 +49,12 @@ type spawnConfig struct {
 	shards   int
 	baseArgs []string // workload/engine flags shared by every shard
 	ckptBase string
+	// workdir, when set, is the campaign directory: shard checkpoints and
+	// pool files are laid out under it as shard<i>.ckpt / shard<i>.pool.
+	workdir string
+	// poolFile requests file-backed shard pools (-pool-file on each shard,
+	// pointing at its own file under workdir).
+	poolFile bool
 	resume   bool
 	keysOut  string
 }
@@ -56,8 +63,29 @@ func shardCkptPath(base string, idx int) string {
 	return fmt.Sprintf("%s.shard%d", base, idx)
 }
 
+// shardCkpt places shard checkpoints under the campaign workdir when one is
+// configured, falling back to the legacy <base>.shard<i> layout.
+func (sc spawnConfig) shardCkpt(idx int) string {
+	if sc.workdir != "" {
+		return filepath.Join(sc.workdir, fmt.Sprintf("shard%d.ckpt", idx))
+	}
+	return shardCkptPath(sc.ckptBase, idx)
+}
+
+// shardPool is shard idx's private pool file. Pool files are never shared:
+// pmem's advisory lock turns an accidental collision into a clear error
+// instead of two shards corrupting one image.
+func (sc spawnConfig) shardPool(idx int) string {
+	return filepath.Join(sc.workdir, fmt.Sprintf("shard%d.pool", idx))
+}
+
 // runSpawn supervises the shard fleet and merges its checkpoints.
 func runSpawn(sc spawnConfig) int {
+	if sc.workdir != "" {
+		if err := os.MkdirAll(sc.workdir, 0o755); err != nil {
+			return errorf("creating -workdir: %v", err)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -74,7 +102,7 @@ func runSpawn(sc spawnConfig) int {
 
 	paths := make([]string, sc.shards)
 	for i := range paths {
-		paths[i] = shardCkptPath(sc.ckptBase, i)
+		paths[i] = sc.shardCkpt(i)
 	}
 	for i, code := range codes {
 		if code == 2 {
@@ -106,7 +134,7 @@ func runSpawn(sc spawnConfig) int {
 // -resume after a crash (death by signal). Exit codes 0/1/3 are final shard
 // outcomes; 2 aborts (a config error will fail every incarnation alike).
 func superviseShard(ctx context.Context, sc spawnConfig, idx int) int {
-	ckpt := shardCkptPath(sc.ckptBase, idx)
+	ckpt := sc.shardCkpt(idx)
 	for attempt := 1; ; attempt++ {
 		resume := sc.resume || attempt > 1
 		code, err := runShardOnce(ctx, sc, idx, ckpt, resume, attempt == 1)
@@ -141,7 +169,13 @@ func runShardOnce(ctx context.Context, sc spawnConfig, idx int, ckpt string, res
 		"-shards", strconv.Itoa(sc.shards),
 		"-shard-index", strconv.Itoa(idx),
 		"-checkpoint", ckpt)
+	if sc.poolFile {
+		args = append(args, "-pool-file", sc.shardPool(idx))
+	}
 	if resume {
+		// -resume covers both the checkpoint and, for file-backed shards,
+		// the surviving pool file: a respawned incarnation reopens it and
+		// compare-skips the pages its predecessor already persisted.
 		args = append(args, "-resume")
 	}
 	encoded, err := json.Marshal(args)

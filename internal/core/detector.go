@@ -44,6 +44,15 @@ func (m Mode) String() string {
 type Config struct {
 	// PoolSize is the PM pool size in bytes (default 1 MiB).
 	PoolSize uint64
+	// Backend constructs the campaign's root pool (nil = the in-memory
+	// default, pmem.MemBackend). With pmem.FileBackend the pool is mapped
+	// onto an on-disk file and dirtied pages are written back in coalesced
+	// msync ranges at every ordering point and failure-point snapshot
+	// (Result.MsyncRanges/MsyncPages/MsyncSkipped); a creation failure — a
+	// pool-file collision, a locked file, an injected extend fault — fails
+	// the run with an error before any tracing starts. Post-failure pools
+	// are copy-on-write views either way and never touch the file.
+	Backend pmem.Backend
 	// Mode selects detection, tracing-only, or original execution.
 	Mode Mode
 	// MaxFailurePoints caps the number of injected failure points
@@ -214,7 +223,15 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	for _, rep := range cfg.SeedReports {
 		r.reports.add(rep)
 	}
-	r.pool = pmem.New(t.Name, int(cfg.PoolSize))
+	backend := cfg.Backend
+	if backend == nil {
+		backend = pmem.MemBackend{}
+	}
+	pool, err := backend.NewPool(t.Name, int(cfg.PoolSize))
+	if err != nil {
+		return nil, fmt.Errorf("core: creating %s-backed pool: %w", backend, err)
+	}
+	r.pool = pool
 	r.pool.SetIncrementalSnapshots(!cfg.DisableIncrementalSnapshots)
 	r.pool.SetFaultHooks(cfg.FaultHooks)
 	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
@@ -231,6 +248,12 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 			r.sh = shadow.NewDensePM(r.pool.Size())
 		} else {
 			r.sh = shadow.NewPM(r.pool.Size())
+			if r.pool.FileBacked() {
+				// File-backed campaigns run long and bulk-initialize large
+				// pools; once a page's lines persist the sparse shadow drops
+				// it for a shared singleton (shadow cold-page compaction).
+				r.sh.SetColdPageCompaction(true)
+			}
 		}
 		if !cfg.DisablePerfBugs {
 			r.sh.SetPerfBugHandler(r.onPerfBug)
@@ -244,6 +267,20 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		}
 	}
 	r.roiActive = !t.ExplicitRoI
+
+	// The pool must be closed on every exit path: a file-backed pool holds
+	// an advisory lock and two mappings, and Close flushes the tail of the
+	// durable image. Deferred before closeEngine so it runs after the
+	// workers drain.
+	poolClosed := false
+	closePool := func() error {
+		if poolClosed {
+			return nil
+		}
+		poolClosed = true
+		return r.pool.Close()
+	}
+	defer closePool()
 
 	// The engine's workers must be drained on every exit path — including
 	// a failing or panicking Setup/Pre — or their goroutines leak.
@@ -273,6 +310,17 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	}
 	closeEngine()
 	total := time.Since(start)
+
+	fileBacked := r.pool.FileBacked()
+	if err := closePool(); err != nil {
+		// The campaign's observations are sound, but the durable image's
+		// tail may be lost; degrade honestly instead of failing the run.
+		msg := fmt.Sprintf("pool close: %v", err)
+		r.degradeMu.Lock()
+		r.harnessFaults = append(r.harnessFaults, msg)
+		r.markIncomplete(msg)
+		r.degradeMu.Unlock()
+	}
 
 	preSeconds := (total - r.postTime).Seconds()
 	if preSeconds < 0 {
@@ -304,6 +352,10 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	}
 	if r.sh != nil {
 		res.ShadowPeakBytes, res.ShadowPages = r.sh.MemStats()
+	}
+	res.PoolBackend = backend.String()
+	if fileBacked {
+		res.MsyncRanges, res.MsyncPages, res.MsyncSkipped = r.pool.FileStats()
 	}
 	res.trace = r.keptTrace
 	return res, nil
@@ -677,6 +729,7 @@ func (r *runner) runPost(fpID int, cls *crashClass) {
 		return r.attemptPost(fpID, snap, r.sh)
 	})
 	if !ok {
+		r.unspawnPostRun()
 		r.resolveClass(cls, false)
 		return
 	}
@@ -785,6 +838,7 @@ func awaitPost(r *runner, gate *postGate, done <-chan error, sink *postSink, cla
 // way) and are reported and checkpointed.
 func (r *runner) finishPost(fpID int, out postOutcome) {
 	if out.cancelled {
+		r.unspawnPostRun()
 		r.noteSkipped("run cancelled during a post-failure execution")
 		return
 	}

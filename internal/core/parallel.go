@@ -131,6 +131,7 @@ func (w *postWorker) check(item fpWork) {
 		return r.attemptPost(item.id, item.snap, item.fork)
 	})
 	if !ok {
+		r.unspawnPostRun()
 		r.resolveClass(item.cls, false)
 		return
 	}

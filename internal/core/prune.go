@@ -83,6 +83,17 @@ func (r *runner) notePostRun() {
 	r.degradeMu.Unlock()
 }
 
+// unspawnPostRun retracts a spawned post-run that ended void — quarantined
+// after its retry, or cancelled — so each failure point lands in exactly
+// one Result bucket and PostRuns + PrunedFailurePoints +
+// OtherShardFailurePoints + ResumedFailurePoints + SkippedFailurePoints ==
+// FailurePoints even for degraded campaigns.
+func (r *runner) unspawnPostRun() {
+	r.degradeMu.Lock()
+	r.postRuns--
+	r.degradeMu.Unlock()
+}
+
 // clean reports whether a post-run outcome allows pruning its class
 // members: anything other than an uneventful completion poisons the class.
 func (o postOutcome) clean() bool {
@@ -182,6 +193,7 @@ func (r *runner) runParked(p parkedFP) {
 		return r.attemptPost(p.id, p.snap, p.fork)
 	})
 	if !ok {
+		r.unspawnPostRun()
 		return
 	}
 	if r.engine != nil {

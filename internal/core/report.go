@@ -157,9 +157,13 @@ type Result struct {
 	Reports []Report
 	// FailurePoints is the number of failure points injected.
 	FailurePoints int
-	// PostRuns is the number of post-failure executions spawned (equal to
-	// FailurePoints unless failure points were pruned, resumed, delegated
-	// to another shard, skipped, or detection terminated early).
+	// PostRuns is the number of post-failure executions that ran to an
+	// outcome (including deadline-abandoned and budget-exceeded runs, which
+	// are reported as faults; excluding quarantined and cancelled ones,
+	// which count as SkippedFailurePoints). Every failure point lands in
+	// exactly one bucket: PostRuns + PrunedFailurePoints +
+	// OtherShardFailurePoints + ResumedFailurePoints +
+	// SkippedFailurePoints == FailurePoints, complete or degraded alike.
 	PostRuns int
 	// CrashStateClasses counts the distinct crash-state fingerprint classes
 	// whose representative post-run executed, and PrunedFailurePoints
@@ -220,6 +224,17 @@ type Result struct {
 	// build no shadow.
 	ShadowPeakBytes uint64
 	ShadowPages     uint64
+	// PoolBackend names the backend the campaign's root pool used
+	// ("memory", "file"). For a file-backed pool, MsyncRanges counts the
+	// coalesced dirty ranges written back to the pool file at persist
+	// boundaries, MsyncPages the 4 KiB pages actually copied and synced,
+	// and MsyncSkipped the dirty pages skipped because their on-disk
+	// content already matched (compare-skip; a resumed campaign replaying
+	// over its surviving file skips everything already persisted).
+	PoolBackend  string
+	MsyncRanges  uint64
+	MsyncPages   uint64
+	MsyncSkipped uint64
 
 	trace *trace.Trace
 }
@@ -274,6 +289,10 @@ func (r *Result) String() string {
 	if r.ShadowPeakBytes > 0 {
 		fmt.Fprintf(&b, "shadow: peak %d KiB, %d page(s) allocated\n",
 			(r.ShadowPeakBytes+1023)/1024, r.ShadowPages)
+	}
+	if r.PoolBackend == "file" {
+		fmt.Fprintf(&b, "pool file: %d msync range(s), %d page(s) written, %d already persisted\n",
+			r.MsyncRanges, r.MsyncPages, r.MsyncSkipped)
 	}
 	if r.PrunedFailurePoints > 0 {
 		fmt.Fprintf(&b, "pruning: %d crash-state class(es) tested, %d member failure point(s) skipped\n",

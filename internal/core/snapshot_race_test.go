@@ -19,8 +19,8 @@ import (
 // mutator stores interleave with the snapshots.
 func TestSnapshotWithConcurrentMutators(t *testing.T) {
 	const (
-		seedAddr   = 0      // written in Setup, never persisted, read by Post
-		mainAddr   = 64     // the main thread's persisted counter
+		seedAddr   = 0       // written in Setup, never persisted, read by Post
+		mainAddr   = 64      // the main thread's persisted counter
 		mutRegion  = 1 << 13 // mutators write into disjoint 8 KiB regions
 		mutators   = 4
 		storesEach = 300

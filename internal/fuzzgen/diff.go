@@ -1,13 +1,19 @@
 package fuzzgen
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
 	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/pmem"
 )
 
 // The differential driver: one program, every engine configuration, one
@@ -71,6 +77,10 @@ func CheckSeed(seed int64, knob Knob) error {
 //     comparison — the sparse paged shadow with range-batched transitions
 //     must be indistinguishable from the per-byte dense reference,
 //     verdicts and post-read byte digests alike;
+//   - ModeDetect on a file-backed pool (linux only): same full comparison,
+//     plus the backing file must hold the byte-identical final image of
+//     the setup+pre stores — msync-granularity persistence must be
+//     invisible to detection and honest about what reached the medium;
 //   - ModeDetect with failure-point elision disabled: full comparison
 //     against a second oracle evaluation with elision disabled;
 //   - ModeDetect with crash-state pruning enabled (the default; the
@@ -78,8 +88,8 @@ func CheckSeed(seed int64, knob Knob) error {
 //     every post-run): identical deduplicated key set, exact
 //     PostRuns + PrunedFailurePoints == FailurePoints accounting, every
 //     observed post-read byte digest predicted by the oracle, and
-//     identical pruning decisions across sequential, parallel and
-//     dense-shadow runs;
+//     identical pruning decisions across sequential, parallel,
+//     dense-shadow and file-backed (cold-page-compacted) runs;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
 //   - ModeOriginal: no tracing at all.
 //
@@ -128,6 +138,11 @@ func CheckProgram(p Program) error {
 		core.Config{DenseShadow: true, DisablePruning: true}); err != nil {
 		return err
 	}
+	if fileBackedDiff {
+		if err := checkFileBacked(p, want); err != nil {
+			return err
+		}
+	}
 
 	wantNoElide, err := Evaluate(p, EvalOpts{DisableElision: true})
 	if err != nil {
@@ -152,15 +167,33 @@ func CheckProgram(p Program) error {
 	// sparse-vs-dense fingerprint parity check).
 	prunedCfgs := []struct {
 		name string
+		file bool // back the pool with a file (enables cold-page compaction)
 		cfg  core.Config
 	}{
-		{"pruned", core.Config{}},
-		{"pruned-workers=2", core.Config{Workers: 2}},
-		{"pruned-dense", core.Config{DenseShadow: true}},
+		{"pruned", false, core.Config{}},
+		{"pruned-workers=2", false, core.Config{Workers: 2}},
+		{"pruned-dense", false, core.Config{DenseShadow: true}},
+		{"pruned-file", true, core.Config{}},
 	}
 	var prunedResults []*core.Result
 	for _, pc := range prunedCfgs {
-		res, err := checkPruned(p, pc.name, want, pc.cfg)
+		cfg := pc.cfg
+		if pc.file {
+			if !fileBackedDiff {
+				continue
+			}
+			// The file-backed detect-mode run enables the shadow's cold-page
+			// compaction, so this configuration doubles as the fuzzer's proof
+			// that compaction leaves the crash-state fingerprints — and hence
+			// every pruning decision — untouched.
+			dir, err := os.MkdirTemp("", "xfdfuzz-pool-")
+			if err != nil {
+				return fmt.Errorf("fuzzgen: %q: temp pool dir: %w", p.Name, err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.Backend = pmem.FileBackend{Path: filepath.Join(dir, "pool.img")}
+		}
+		res, err := checkPruned(p, pc.name, want, cfg)
 		if err != nil {
 			return err
 		}
@@ -253,6 +286,89 @@ func checkPruned(p Program, config string, want *OracleResult, cfg core.Config) 
 		}
 	}
 	return res, nil
+}
+
+// fileBackedDiff gates the file-backed engine configurations; the mmap'd
+// pool file (pmem.FileBackend) is linux-only.
+var fileBackedDiff = runtime.GOOS == "linux"
+
+// checkFileBacked runs p on a file-backed pool and holds it to the same
+// full comparison as every in-memory configuration — msync-granularity
+// persistence must be invisible to detection — plus one check no other
+// configuration has: after the run, the backing file must hold the
+// byte-identical final image of the setup+pre stores. The durable image is
+// what a -resume campaign replays against, and a silently short or torn
+// writeback (the seeded short-msync mutant) corrupts exactly those bytes
+// while every verdict stays right.
+func checkFileBacked(p Program, want *OracleResult) error {
+	dir, err := os.MkdirTemp("", "xfdfuzz-pool-")
+	if err != nil {
+		return fmt.Errorf("fuzzgen: %q: temp pool dir: %w", p.Name, err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "pool.img")
+
+	cfg := core.Config{DisablePruning: true, Backend: pmem.FileBackend{Path: path}}
+	cfg.PoolSize = p.PoolSize
+	log := &PostReadLog{}
+	res, err := core.Run(cfg, BuildTargetRecording(p, log))
+	if err != nil {
+		return fmt.Errorf("fuzzgen: %q: harness error: %w", p.Name, err)
+	}
+	if err := compareFull(p, "file-backed", want, res); err != nil {
+		return err
+	}
+	if err := compare(p, "file-backed", "post-read-bytes",
+		strings.Join(want.PostReads, " ; "), strings.Join(log.Canonical(), " ; ")); err != nil {
+		return err
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("fuzzgen: %q: reading durable image: %w", p.Name, err)
+	}
+	if wantImg := finalImage(p); !bytes.Equal(got, wantImg) {
+		return &Mismatch{Program: p, Config: "file-backed", Field: "durable-image",
+			Want: imageDigest(wantImg), Got: imageDigest(got)}
+	}
+	return nil
+}
+
+// finalImage replays the setup+pre Store/NTStore ops over a zeroed pool:
+// the image the backing file must hold after the campaign's final persist
+// (Close flushes every page still dirty). Post-failure stages never touch
+// it — their pools are COW views with no file state.
+func finalImage(p Program) []byte {
+	img := make([]byte, pmem.LineUp(uint64(p.PoolSize)))
+	setupVals, preVals := storeValues(p)
+	apply := func(ops []Op, vals map[int]byte) {
+		for i, op := range ops {
+			if (op.Kind == OpStore || op.Kind == OpNTStore) && op.Size > 0 {
+				for j := op.Addr; j < op.Addr+op.Size; j++ {
+					img[j] = vals[i]
+				}
+			}
+		}
+	}
+	apply(p.Setup, setupVals)
+	apply(p.Pre, preVals)
+	return img
+}
+
+// imageDigest renders an image as a short comparable string: length, FNV
+// hash, and the first nonzero byte (images diverge in content, and a full
+// hex dump of the pool would drown the mismatch report).
+func imageDigest(img []byte) string {
+	h := fnv.New64a()
+	h.Write(img)
+	first := -1
+	for i, b := range img {
+		if b != 0 {
+			first = i
+			break
+		}
+	}
+	return fmt.Sprintf("%d bytes, fnv %016x, first nonzero at %d", len(img), h.Sum64(), first)
 }
 
 // ResultKeys returns a result's sorted report deduplication keys.

@@ -1,0 +1,83 @@
+//go:build linux
+
+package fuzzgen
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/pmem"
+)
+
+// The seeded writeback bug: every dirty-range msync of a file-backed pool
+// silently persists only its first 256 bytes and clears the range's dirty
+// bits anyway (pmem.SetShortMsyncForTest). No error is raised, every
+// verdict stays right, and only the durable image is wrong — so only the
+// file-backed differential configuration, which digests the backing file
+// against the oracle's final image, can catch it. These tests prove it
+// does, on fuzzed seeds and on the checked-in corpus alone.
+
+// TestShortMsyncMutationCaught: the dropped-fence seed battery notices the
+// silently short writeback. Must not run in parallel with other tests: the
+// mutation switch is a package-level toggle in internal/pmem.
+func TestShortMsyncMutationCaught(t *testing.T) {
+	const n = 40
+	pmem.SetShortMsyncForTest(true)
+	defer pmem.SetShortMsyncForTest(false)
+	caught := 0
+	for seed := int64(0); seed < n; seed++ {
+		err := CheckSeed(seed, KnobDroppedFence)
+		var m *Mismatch
+		if errors.As(err, &m) {
+			caught++
+			if m.Field != "durable-image" || m.Config != "file-backed" {
+				t.Fatalf("seed %d: short msync caught by %s/%s, want file-backed/durable-image:\n%v",
+					seed, m.Config, m.Field, m)
+			}
+		} else if err != nil {
+			t.Fatalf("seed %d: non-mismatch error under mutation: %v", seed, err)
+		}
+	}
+	if caught == 0 {
+		t.Fatalf("seeded short-msync mutation went undetected on all %d seeds", n)
+	}
+	t.Logf("short-msync caught on %d/%d dropped-fence seeds", caught, n)
+}
+
+// TestShortMsyncMutationCaughtByCorpus requires the deterministic corpus
+// replayed in CI to catch the mutant without relying on fuzzing luck.
+func TestShortMsyncMutationCaughtByCorpus(t *testing.T) {
+	entries, err := os.ReadDir("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmem.SetShortMsyncForTest(true)
+	defer pmem.SetShortMsyncForTest(false)
+	caught := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("corpus", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseProgram(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		var m *Mismatch
+		if err := CheckProgram(p); errors.As(err, &m) {
+			caught++
+		} else if err != nil {
+			t.Fatalf("%s: non-mismatch error under mutation: %v", e.Name(), err)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("short-msync mutation went undetected by the entire corpus")
+	}
+	t.Logf("short-msync caught by %d corpus programs", caught)
+}

@@ -1,0 +1,60 @@
+package pmem
+
+// Pool backends.
+//
+// A Backend constructs the root pool of a detection campaign. The default
+// in-memory backend keeps the PM image in a heap slice, exactly as every
+// prior PR assumed; the file-backed backend (file.go) maps the image onto
+// an on-disk file so pool state survives the process and campaign size is
+// no longer capped by RAM. Post-failure pools are unaffected either way:
+// they are always copy-on-write views over in-memory snapshots
+// (FromSnapshot), because a post-failure execution must never advance the
+// durable image.
+
+// Backend constructs root pools. Implementations are small value types so
+// a core.Config can carry one by value through spawned shards.
+type Backend interface {
+	// NewPool creates the campaign's root pool of the given size.
+	NewPool(name string, size int) (*Pool, error)
+	// String names the backend in results and logs ("memory", "file").
+	String() string
+}
+
+// MemBackend is the default backend: the pool is an in-memory byte slice
+// and nothing survives the process.
+type MemBackend struct{}
+
+// NewPool creates a zeroed in-memory pool; it cannot fail.
+func (MemBackend) NewPool(name string, size int) (*Pool, error) {
+	return New(name, size), nil
+}
+
+func (MemBackend) String() string { return "memory" }
+
+// FileBackend maps the pool onto an on-disk file with msync-granularity
+// persistence (file.go): dirtied pages are written back in coalesced
+// ranges at every SFence and failure-point snapshot, so the file always
+// holds the PM image as of the last persist boundary.
+type FileBackend struct {
+	// Path is the backing pool file. A fresh campaign refuses to reuse an
+	// existing file; Resume reopens it.
+	Path string
+	// Resume reopens an existing pool file from a killed campaign. The
+	// deterministic pre-failure replay is authoritative; the surviving
+	// file lets the replay skip writing back every page whose on-disk
+	// content already matches (compare-skip), so a resumed campaign does
+	// not re-msync already-persisted pages.
+	Resume bool
+	// Hooks injects disk faults during pool creation (the Extend hook
+	// fires before core.Run can install Config.FaultHooks on the pool);
+	// the detection frontend installs the same hooks on the created pool
+	// for the msync-time fault classes.
+	Hooks *FaultHooks
+}
+
+// NewPool creates (or, with Resume, reopens) the file-backed pool.
+func (b FileBackend) NewPool(name string, size int) (*Pool, error) {
+	return NewFileBacked(name, b.Path, size, b.Resume, b.Hooks)
+}
+
+func (FileBackend) String() string { return "file" }

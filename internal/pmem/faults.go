@@ -21,7 +21,9 @@ import (
 // quarantines the affected failure point instead of reporting a bug.
 type HarnessFault struct {
 	// Op names the harness operation that failed: "image-copy" or
-	// "trace-sink".
+	// "trace-sink" for the in-memory faults, "msync", "short-msync",
+	// "torn-mmap" or "pool-extend" for the disk fault classes of a
+	// file-backed pool (file.go).
 	Op  string
 	Err error
 }
@@ -46,22 +48,60 @@ type FaultHooks struct {
 	// by panicking with a *HarnessFault, which unwinds the stage being
 	// traced into the detection frontend's recovery.
 	Sink func(e trace.Entry) error
+	// Msync is consulted before each coalesced dirty-range writeback of a
+	// file-backed pool; a non-nil error fails the persist with Op "msync"
+	// and leaves every page of the range dirty. Returning ENOSPC models
+	// the disk-full class.
+	Msync func(addr, size uint64) error
+	// ShortMsync is consulted before each dirty-range writeback; a
+	// non-nil error persists only the first keep bytes of the range and
+	// fails with Op "short-msync", leaving the unpersisted pages dirty
+	// for the retry. keep is ignored when err is nil.
+	ShortMsync func(addr, size uint64) (keep uint64, err error)
+	// TornMmap is consulted after each page of a file-backed pool is
+	// written back, just before its read-back verification; a non-nil
+	// error fails the persist with Op "torn-mmap" and leaves the page
+	// dirty, modeling a page that reads back torn through the mapping.
+	TornMmap func(page uint64) error
+	// Extend is consulted before the backing file of a file-backed pool
+	// is extended to the pool size at creation; a non-nil error fails
+	// pool creation with Op "pool-extend" (the disk-full class at extend
+	// time). It fires before the detection frontend can install hooks on
+	// the pool, so it is consulted from FileBackend.Hooks.
+	Extend func(size uint64) error
 }
 
-// SetFaultHooks installs h on the pool (nil disables fault injection). The
-// detection frontend propagates the hooks of the pre-failure pool to every
-// post-failure image copy.
+// SetFaultHooks installs h on the pool (nil disables fault injection).
+//
+// Propagation contract: the detection frontend installs the pre-failure
+// pool's hooks on every post-failure pool it builds (the COW views over
+// failure-point snapshots), and the shadow forks handed to parallel
+// workers check against those same views — so a fault class armed on the
+// root pool keeps firing across every post-failure attempt and every
+// worker, with no un-instrumented copies. TestFaultHooksPropagation in
+// internal/core pins this contract.
 func (p *Pool) SetFaultHooks(h *FaultHooks) {
 	p.mu.Lock()
 	p.faults = h
 	p.mu.Unlock()
 }
 
-// SnapshotErr is TakeSnapshot with the image-copy fault hook applied: it
-// returns a *HarnessFault instead of an image when the hook fails the copy.
+// SnapshotErr is TakeSnapshot with the harness fault paths applied: on a
+// file-backed pool it first persists the dirty pages (a failure-point
+// snapshot is a persist boundary), then consults the image-copy fault
+// hook; it returns a *HarnessFault instead of an image when either step
+// fails. A persist failure stashed by SFence (which has no error path)
+// surfaces here, riding the frontend's retry-once-then-quarantine
+// handling exactly like an image-copy fault.
 func (p *Pool) SnapshotErr() (*Snapshot, error) {
 	p.mu.Lock()
 	h := p.faults
+	if p.file != nil {
+		if err := p.persistLocked(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
 	p.mu.Unlock()
 	if h != nil && h.Snapshot != nil {
 		if err := h.Snapshot(); err != nil {

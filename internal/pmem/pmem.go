@@ -95,6 +95,10 @@ type Pool struct {
 	incSnap bool
 	dirty   []uint64
 	base    *Snapshot
+	// file is the durable half of a file-backed root pool (file.go); nil
+	// for in-memory pools and COW views. Set once at construction — the
+	// nil check needs no lock — with all field mutation under mu.
+	file *fileState
 
 	sink      Sink
 	stage     trace.Stage
@@ -466,7 +470,12 @@ func (p *Pool) CLFlush(addr, size uint64) {
 
 // SFence is a store fence: it completes all pending writebacks, making them
 // persistent, and advances the ordering timestamp. It is an ordering point;
-// the installed fence hook (the failure injector) runs first.
+// the installed fence hook (the failure injector) runs first. On a
+// file-backed pool the fence is also a persist boundary: the dirty pages
+// are written back to the pool file in coalesced msync ranges. SFence has
+// no error path, so a persist failure is stashed and surfaced by the next
+// SnapshotErr — i.e. at the next failure point, where the frontend's
+// retry-then-quarantine machinery owns it.
 func (p *Pool) SFence() {
 	p.mu.Lock()
 	hook := p.fenceHook
@@ -475,6 +484,13 @@ func (p *Pool) SFence() {
 		hook()
 	}
 	p.emit(trace.SFence, 0, 0, "")
+	if p.file != nil {
+		p.mu.Lock()
+		if err := p.persistLocked(); err != nil {
+			p.file.pending = err
+		}
+		p.mu.Unlock()
+	}
 }
 
 // Persist is the paper's persist_barrier(): CLWB of the range followed by an

@@ -153,13 +153,19 @@ func (p *Pool) snapshotLocked() *Snapshot {
 }
 
 // markDirtyLocked records that [addr, addr+size) was written; callers hold
-// p.mu and have bounds-checked the range. Root pools only.
+// p.mu and have bounds-checked the range. Root pools only. On a
+// file-backed pool the same write also dirties the writeback bitmap
+// (file.go) — one marking path feeds both the incremental snapshots and
+// the msync batching, so they can never disagree about what was written.
 func (p *Pool) markDirtyLocked(addr, size uint64) {
 	if size == 0 || staleDirtyForTest {
 		return
 	}
-	for pg := addr / PageSize; pg <= (addr + size - 1) / PageSize; pg++ {
+	for pg := addr / PageSize; pg <= (addr+size-1)/PageSize; pg++ {
 		p.dirty[pg/64] |= 1 << (pg % 64)
+		if p.file != nil {
+			p.file.syncDirty[pg/64] |= 1 << (pg % 64)
+		}
 	}
 }
 

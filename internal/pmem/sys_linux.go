@@ -1,0 +1,68 @@
+//go:build linux
+
+package pmem
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Platform layer of the file-backed pool backend (file.go): mmap, msync
+// and pool-file locking. Only the linux implementation is real — the
+// paper's testbed (DAX-mapped Optane pool files) is linux-only, and so is
+// every CI target of this repo; other platforms get the stubs in
+// sys_other.go and a clear "unsupported" error.
+
+const fileBackendSupported = true
+
+// errNoSpace is the disk-full errno the injected disk-full fault class
+// reports.
+var errNoSpace error = syscall.ENOSPC
+
+// mapShared maps size bytes of f read-write and shared: the durable view.
+// Stores into the returned slice land in the page cache of the backing
+// file; msyncRange makes a range of them durable.
+func mapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// mapAnon maps size bytes of zeroed private anonymous memory: the working
+// image (the simulated cache hierarchy plus medium of footnote 3). Lazily
+// committed, so an untouched page of a huge pool costs no RAM.
+func mapAnon(size int) ([]byte, error) {
+	return syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+}
+
+// unmap releases a mapping created by mapShared or mapAnon.
+func unmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// lockFile takes an exclusive non-blocking flock on the pool file, so two
+// processes (for example two shards handed the same -pool-file) cannot
+// both advance one durable image.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// msyncRange synchronously flushes a page-aligned subrange of a shared
+// mapping to the backing file (MS_SYNC). The stdlib syscall package has
+// no Msync wrapper, hence the raw syscall.
+func msyncRange(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package pmem
+
+import (
+	"errors"
+	"os"
+)
+
+// Stub platform layer: file-backed pools need mmap/msync/flock and are
+// only implemented for linux (sys_linux.go). NewFileBacked checks
+// fileBackendSupported first, so none of these stubs is ever reached.
+
+const fileBackendSupported = false
+
+var errUnsupported = errors.New("pmem: file-backed pools are only supported on linux")
+
+var errNoSpace error = errUnsupported
+
+func mapShared(*os.File, int) ([]byte, error) { return nil, errUnsupported }
+func mapAnon(int) ([]byte, error)             { return nil, errUnsupported }
+func unmap([]byte) error                      { return nil }
+func lockFile(*os.File) error                 { return errUnsupported }
+func msyncRange([]byte) error                 { return errUnsupported }

@@ -1,0 +1,219 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pmemgo/xfdetector/internal/trace"
+)
+
+// coldInit bulk-initializes pages [0, n): one uniform write + flush +
+// fence per page, the shape that goes cold.
+func coldInit(s *PM, n int) {
+	for pg := 0; pg < n; pg++ {
+		base := uint64(pg) << pageShift
+		apply(s, trace.Write, base, pageBytes)
+		apply(s, trace.CLWB, base, pageBytes)
+	}
+	apply(s, trace.SFence, 0, 0)
+}
+
+// Cold pages collapse into singletons and live shadow memory drops; the
+// accessors still read the exact pre-compaction metadata.
+func TestColdPageCompactionDropsPages(t *testing.T) {
+	const n = 8
+	s := NewPM(n << pageShift)
+	s.SetColdPageCompaction(true)
+	coldInit(s, n)
+
+	if got := s.ColdPages(); got != n {
+		t.Fatalf("ColdPages = %d, want %d", got, n)
+	}
+	// All n slots share one singleton: n+1 distinct pages were allocated
+	// (n lazily + 1 singleton) but only 1 is live beyond the registry.
+	ref := NewPM(n << pageShift)
+	coldInit(ref, n)
+	peak, _ := s.MemStats()
+	refPeak, _ := ref.MemStats()
+	if s.stats.live.Load() >= ref.stats.live.Load() {
+		t.Fatalf("compaction did not drop live shadow bytes: %d vs %d", s.stats.live.Load(), ref.stats.live.Load())
+	}
+	if peak > refPeak+uint64(pageFootprint) {
+		t.Fatalf("compaction peak %d exceeds uncompacted %d by more than the singleton", peak, refPeak)
+	}
+
+	for _, b := range []uint64{0, pageBytes + 7, (n - 1) << pageShift} {
+		if s.State(b) != ref.State(b) || s.WriteEpoch(b) != ref.WriteEpoch(b) ||
+			s.PersistEpoch(b) != ref.PersistEpoch(b) || s.WriterIP(b) != ref.WriterIP(b) ||
+			s.TxProtected(b) != ref.TxProtected(b) {
+			t.Fatalf("byte 0x%x: compacted accessors diverge from reference", b)
+		}
+	}
+	if s.CrashFingerprint() != ref.CrashFingerprint() {
+		t.Fatal("compacted fingerprint diverges from uncompacted")
+	}
+}
+
+// A store to a compacted slot privatizes the singleton; the other slots
+// keep their metadata.
+func TestColdPageWriteRehydratesOneSlot(t *testing.T) {
+	s := NewPM(4 << pageShift)
+	s.SetColdPageCompaction(true)
+	coldInit(s, 4)
+	preEpoch := s.WriteEpoch(pageBytes)
+
+	apply(s, trace.Write, 0, 8) // slot 0 privatizes
+	if s.State(0) != Modified {
+		t.Fatalf("written byte state %v", s.State(0))
+	}
+	if s.State(pageBytes) != Persisted || s.WriteEpoch(pageBytes) != preEpoch {
+		t.Fatal("write to slot 0 leaked into slot 1's singleton")
+	}
+	if got := s.ColdPages(); got != 3 {
+		t.Fatalf("ColdPages after write = %d, want 3", got)
+	}
+}
+
+// Pages with non-uniform metadata, open-transaction protection, or
+// commit-variable geometry must not compact.
+func TestColdPageCompactionExclusions(t *testing.T) {
+	s := NewPM(4 << pageShift)
+	s.SetColdPageCompaction(true)
+
+	// Page 0: two write epochs.
+	apply(s, trace.Write, 0, pageBytes)
+	apply(s, trace.CLWB, 0, pageBytes)
+	apply(s, trace.SFence, 0, 0)
+	apply(s, trace.Write, 0, 64)
+	apply(s, trace.CLWB, 0, 64)
+	// Page 1: commit variable inside.
+	apply(s, trace.RegCommitVar, pageBytes+8, 8)
+	apply(s, trace.Write, pageBytes, pageBytes)
+	apply(s, trace.CLWB, pageBytes, pageBytes)
+	apply(s, trace.SFence, 0, 0)
+	if got := s.ColdPages(); got != 0 {
+		t.Fatalf("excluded pages compacted: ColdPages = %d", got)
+	}
+
+	// Page 2 inside an open transaction: the fence must skip compaction.
+	apply(s, trace.TxBegin, 0, 0)
+	apply(s, trace.TxAdd, 2*pageBytes, pageBytes)
+	apply(s, trace.Write, 2*pageBytes, pageBytes)
+	apply(s, trace.CLWB, 2*pageBytes, pageBytes)
+	apply(s, trace.SFence, 0, 0)
+	if got := s.ColdPages(); got != 0 {
+		t.Fatalf("in-transaction fence compacted: ColdPages = %d", got)
+	}
+	apply(s, trace.TxCommit, 0, 0)
+}
+
+// Registering commit geometry over an already-compacted slot rehydrates
+// it, so the slot stops sharing a fingerprint cache with slots elsewhere:
+// fingerprints must keep matching an uncompacted reference afterwards.
+func TestColdPageGeometryRehydration(t *testing.T) {
+	run := func(compact bool) *PM {
+		s := NewPM(4 << pageShift)
+		s.SetColdPageCompaction(compact)
+		coldInit(s, 4)
+		// Late geometry over slot 1, then a commit write that flips its
+		// associated bytes' Eq. 3 outcomes.
+		s.Apply(trace.Entry{Kind: trace.RegCommitRange, Addr: 3*pageBytes + 8, Size: 8,
+			Addr2: pageBytes, Size2: 128})
+		apply(s, trace.Write, 3*pageBytes+8, 8)
+		apply(s, trace.CLWB, 3*pageBytes+8, 8)
+		apply(s, trace.SFence, 0, 0)
+		return s
+	}
+	c, ref := run(true), run(false)
+	if c.CrashFingerprint() != ref.CrashFingerprint() {
+		t.Fatal("fingerprint diverges after late geometry over a compacted slot")
+	}
+	// The non-rehydrated slots still share the singleton.
+	if c.ColdPages() == 0 {
+		t.Fatal("rehydration dropped every compacted slot")
+	}
+	ck := c.BeginPostCheck()
+	rk := ref.BeginPostCheck()
+	for b := uint64(0); b < c.Size(); b += 64 {
+		cf, rf := ck.OnRead(b, 64), rk.OnRead(b, 64)
+		if len(cf) != len(rf) {
+			t.Fatalf("addr 0x%x: %d findings vs %d uncompacted", b, len(cf), len(rf))
+		}
+	}
+}
+
+// Randomized equivalence: the same trace applied with compaction on and
+// off must agree on every accessor, the fingerprint, and every
+// post-failure classification at every fence.
+func TestColdPageCompactionEquivalence(t *testing.T) {
+	const size = 8 << pageShift
+	rng := rand.New(rand.NewSource(7))
+	c, ref := NewPM(size), NewPM(size)
+	c.SetColdPageCompaction(true)
+
+	step := func(e trace.Entry) {
+		c.Apply(e)
+		ref.Apply(e)
+	}
+	checkAll := func() {
+		t.Helper()
+		if cf, rf := c.CrashFingerprint(), ref.CrashFingerprint(); cf != rf {
+			t.Fatalf("fingerprint mismatch: %x vs %x", cf, rf)
+		}
+		for b := uint64(0); b < size; b += 97 {
+			if c.State(b) != ref.State(b) || c.WriteEpoch(b) != ref.WriteEpoch(b) ||
+				c.PersistEpoch(b) != ref.PersistEpoch(b) || c.WriterIP(b) != ref.WriterIP(b) ||
+				c.TxProtected(b) != ref.TxProtected(b) {
+				t.Fatalf("byte 0x%x: accessor mismatch", b)
+			}
+		}
+		cc, rc := c.Fork(), ref.Fork()
+		ck, rk := cc.BeginPostCheck(), rc.BeginPostCheck()
+		for b := uint64(0); b+256 <= size; b += 512 {
+			cf, rf := ck.OnRead(b, 256), rk.OnRead(b, 256)
+			if len(cf) != len(rf) {
+				t.Fatalf("post-read 0x%x: %d findings vs %d", b, len(cf), len(rf))
+			}
+			for i := range cf {
+				if cf[i] != rf[i] {
+					t.Fatalf("post-read 0x%x finding %d: %+v vs %+v", b, i, cf[i], rf[i])
+				}
+			}
+		}
+		cc.Release()
+		rc.Release()
+	}
+
+	for round := 0; round < 60; round++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			base := uint64(rng.Intn(8)) << pageShift
+			step(trace.Entry{Kind: trace.Write, Addr: base, Size: pageBytes, IP: "init.go:1"})
+			step(trace.Entry{Kind: trace.CLWB, Addr: base, Size: pageBytes, IP: "init.go:2"})
+		case 3, 4:
+			addr := uint64(rng.Intn(size - 64))
+			step(trace.Entry{Kind: trace.Write, Addr: addr, Size: uint64(1 + rng.Intn(64)), IP: "w.go:3"})
+		case 5:
+			addr := uint64(rng.Intn(size - 64))
+			step(trace.Entry{Kind: trace.NTStore, Addr: addr, Size: uint64(1 + rng.Intn(64)), IP: "nt.go:4"})
+		case 6:
+			addr := uint64(rng.Intn(size - 256))
+			step(trace.Entry{Kind: trace.CLWB, Addr: addr, Size: uint64(1 + rng.Intn(256)), IP: "f.go:5"})
+		case 7:
+			step(trace.Entry{Kind: trace.TxBegin})
+			addr := uint64(rng.Intn(size - 128))
+			step(trace.Entry{Kind: trace.TxAdd, Addr: addr, Size: 128, IP: "tx.go:6"})
+			step(trace.Entry{Kind: trace.Write, Addr: addr, Size: 64, IP: "tx.go:7"})
+			step(trace.Entry{Kind: trace.TxCommit})
+		case 8:
+			addr := uint64(rng.Intn(size - 16))
+			step(trace.Entry{Kind: trace.RegCommitVar, Addr: addr, Size: 8})
+		case 9:
+			va := uint64(rng.Intn(size - 16))
+			da := uint64(rng.Intn(size - 256))
+			step(trace.Entry{Kind: trace.RegCommitRange, Addr: va, Size: 8, Addr2: da, Size2: 128})
+		}
+		step(trace.Entry{Kind: trace.SFence})
+		checkAll()
+	}
+}

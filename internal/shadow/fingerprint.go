@@ -29,7 +29,9 @@ package shadow
 // the same symbols, so sparse and dense shadows produce byte-identical
 // fingerprints. Commit-variable geometry (which addresses are commit
 // variables or associated with one) is folded into the final fingerprint
-// directly, so registrations need no page invalidation.
+// directly; registrations additionally drop the cached hashes of the pages
+// their ranges overlap, since the per-byte symbols under new geometry
+// change bucket.
 
 // FNV-1a 64-bit parameters.
 const (

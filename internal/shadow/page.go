@@ -120,6 +120,12 @@ func (s *PM) dropPageRef(pg *page) {
 	}
 }
 
+// adoptPageRef takes one more reference on an already-live page (a cold
+// singleton gaining a slot, compact.go). No accounting: the page's
+// footprint was counted at allocation and shrinks only when the last
+// reference drops.
+func adoptPageRef(pg *page) { atomic.AddInt32(&pg.refs, 1) }
+
 // writablePage returns the page at index pi ready for mutation: allocated
 // if the slab was never touched, privatized (cloned) if it is shared with
 // a fork. The stale-fork mutation switch (mutation.go) deliberately skips
