@@ -1,141 +1,73 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
-	"sort"
-	"strings"
 	"sync"
 
+	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/core"
 )
 
-// Checkpoint file: one JSON object per line, appended and fsynced as each
-// failure point's post-run completes, so a killed campaign loses at most
-// the line being written. A resumed run seeds every recorded report and
-// skips the recorded failure points; because the pre-failure execution is
-// deterministic, the union converges to the uninterrupted run's report set.
+// Checkpoint file: one JSON object per line (internal/ckpt), appended and
+// fsynced as each failure point's post-run completes, so a killed campaign
+// loses at most the line being written. A resumed run seeds every recorded
+// report and skips the recorded failure points; because the pre-failure
+// execution is deterministic, the union converges to the uninterrupted
+// run's report set.
 //
-// A completed campaign appends one summary line (fp == -1) recording the
-// total failure-point count it observed and the reports attributed to the
-// pre-failure replay (performance bugs, fp < 0), which no per-point line
-// carries. The summary is what lets -merge decide whether the union of
-// shard checkpoints covers the whole campaign.
-type checkpointLine struct {
-	FP      int           `json:"fp"`
-	Reports []core.Report `json:"reports,omitempty"`
-	// Total and Shards are only set on the summary line: the campaign's
-	// failure-point count and the shard layout that wrote it (0 when the
-	// campaign was not sharded).
-	Total  int `json:"total,omitempty"`
-	Shards int `json:"shards,omitempty"`
-	// ShadowPeakBytes and ShadowPages are only set on the summary line:
-	// the run's peak shadow-PM footprint and cumulative 4 KiB shadow page
-	// allocations (zero under -dense-shadow, whose flat arrays appear only
-	// in the byte peak). Older checkpoints without them still parse.
-	ShadowPeakBytes uint64 `json:"shadow_peak_bytes,omitempty"`
-	ShadowPages     uint64 `json:"shadow_pages,omitempty"`
-	// Classes and Pruned are only set on the summary line: how many
-	// crash-state classes the run actually post-ran and how many member
-	// failure points it skipped as duplicates (both zero under -no-prune).
-	// Pruned points still write their per-point line, so -merge's coverage
-	// proof is unaffected.
-	Classes int `json:"classes,omitempty"`
-	Pruned  int `json:"pruned,omitempty"`
-}
+// "-checkpoint -" streams the lines to stdout instead of a file (the
+// report moves to stderr so stdout stays pure JSONL) — the shard mode a
+// -worker runs, forwarding each line to the -serve daemon, which holds the
+// durable copy. With -resume, the prior checkpoint is read from stdin.
+
+// stdioCheckpoint is the -checkpoint operand selecting stdout/stdin
+// streaming instead of a file.
+const stdioCheckpoint = "-"
 
 // summaryFP marks the summary line; real failure points are 0-based.
-const summaryFP = -1
+const summaryFP = ckpt.SummaryFP
 
-// checkpointData is a parsed checkpoint: the completed failure points,
-// every recorded report (per-point and pre-failure alike), and the total
-// failure-point count from the summary line (-1 when no campaign over this
-// checkpoint completed yet).
-type checkpointData struct {
-	done  map[int]bool
-	seed  []core.Report
-	total int
-}
-
-// loadCheckpoint reads a (possibly truncated) checkpoint. Only a trailing
-// line that does not parse — the write the crash interrupted — is
-// discarded; a corrupt line with valid lines after it is mid-file damage,
-// and silently dropping those valid lines would make a resumed or merged
-// campaign under-count completed failure points, so it is a load error.
-func loadCheckpoint(path string) (checkpointData, error) {
-	cp := checkpointData{total: -1}
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return cp, nil // nothing recorded yet: a full run
+// loadCheckpoint reads a (possibly truncated) checkpoint into resume
+// state. Only a torn trailing line is tolerated; mid-file corruption is a
+// load error (see ckpt.Read). For stdioCheckpoint the lines come from
+// stdin — the worker pipes the daemon-held checkpoint into the shard.
+func loadCheckpoint(path string) (ckpt.Data, error) {
+	var (
+		lines []ckpt.Line
+		err   error
+	)
+	if path == stdioCheckpoint {
+		lines, err = ckpt.Read(os.Stdin, "<stdin>")
+	} else {
+		lines, err = ckpt.ReadFile(path)
 	}
 	if err != nil {
-		return cp, err
+		return ckpt.Data{Total: -1}, err
 	}
-	defer f.Close()
-
-	// bufio.Reader.ReadString has no line-length cap: a failure point that
-	// contributed a large report set writes a line well past any fixed
-	// Scanner buffer, and resume must still read it.
-	var lines []string
-	br := bufio.NewReader(f)
-	for {
-		line, err := br.ReadString('\n')
-		if line != "" {
-			lines = append(lines, line)
-		}
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return cp, err
-		}
-	}
-
-	last := len(lines) - 1
-	for last >= 0 && strings.TrimSpace(lines[last]) == "" {
-		last--
-	}
-	cp.done = make(map[int]bool)
-	for i, raw := range lines {
-		line := strings.TrimSpace(raw)
-		if line == "" {
-			continue
-		}
-		var l checkpointLine
-		if err := json.Unmarshal([]byte(line), &l); err != nil {
-			if i == last {
-				break // torn tail from the crash; rerun from here
-			}
-			return checkpointData{total: -1}, fmt.Errorf("%s:%d: corrupt checkpoint line before intact ones (not a torn tail): %v", path, i+1, err)
-		}
-		if l.FP <= summaryFP {
-			if cp.total >= 0 && cp.total != l.Total {
-				return checkpointData{total: -1}, fmt.Errorf("%s:%d: summary lines disagree on the failure-point total (%d vs %d); refusing to mix campaigns", path, i+1, cp.total, l.Total)
-			}
-			cp.total = l.Total
-			cp.seed = append(cp.seed, l.Reports...)
-			continue
-		}
-		cp.done[l.FP] = true
-		cp.seed = append(cp.seed, l.Reports...)
-	}
-	return cp, nil
+	return ckpt.Fold(lines, path)
 }
 
-// checkpointWriter appends one line per completed failure point. Lines are
-// fsynced individually: a checkpoint exists to survive kill -9, so the
-// write must be durable before the campaign moves on.
+// checkpointWriter appends one line per completed failure point. File
+// lines are fsynced individually: a checkpoint exists to survive kill -9,
+// so the write must be durable before the campaign moves on. The stdout
+// variant skips the sync — durability is the daemon's job — and never
+// closes the stream it does not own.
 type checkpointWriter struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
+	owns bool
 }
 
-// openCheckpoint opens the file for appending. Without -resume an existing
-// checkpoint is refused rather than silently mixed with a new campaign.
+// openCheckpoint opens the checkpoint for appending. Without -resume an
+// existing checkpoint is refused rather than silently mixed with a new
+// campaign. The stdioCheckpoint operand returns the stdout streamer.
 func openCheckpoint(path string, resuming bool) (*checkpointWriter, error) {
+	if path == stdioCheckpoint {
+		return &checkpointWriter{f: os.Stdout}, nil
+	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if !resuming {
 		flags |= os.O_EXCL
@@ -147,32 +79,25 @@ func openCheckpoint(path string, resuming bool) (*checkpointWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &checkpointWriter{f: f}, nil
+	return &checkpointWriter{f: f, sync: true, owns: true}, nil
 }
 
 // record is installed as core.Config.OnPostRunComplete. The detector
 // serializes these calls, but the lock keeps the writer safe regardless.
 func (w *checkpointWriter) record(fp int, fresh []core.Report) {
-	w.append(checkpointLine{FP: fp, Reports: fresh})
+	w.append(ckpt.Line{FP: fp, Reports: fresh})
 }
 
 // recordSummary appends the completion summary: the campaign's total
-// failure-point count, the shard layout, and the pre-failure reports
-// (fp < 0, i.e. performance bugs from the trace replay) that the per-point
-// lines do not carry. Written only when the run was not Incomplete.
+// failure-point count, the shard layout, the per-bucket accounting, and
+// the pre-failure reports (fp < 0, i.e. performance bugs from the trace
+// replay) that the per-point lines do not carry. Written only when the
+// run was not Incomplete.
 func (w *checkpointWriter) recordSummary(res *core.Result, shards int) {
-	line := checkpointLine{FP: summaryFP, Total: res.FailurePoints, Shards: shards,
-		ShadowPeakBytes: res.ShadowPeakBytes, ShadowPages: res.ShadowPages,
-		Classes: res.CrashStateClasses, Pruned: res.PrunedFailurePoints}
-	for _, rep := range res.Reports {
-		if rep.FailurePoint < 0 {
-			line.Reports = append(line.Reports, rep)
-		}
-	}
-	w.append(line)
+	w.append(ckpt.Summary(res, shards))
 }
 
-func (w *checkpointWriter) append(l checkpointLine) {
+func (w *checkpointWriter) append(l ckpt.Line) {
 	line, err := json.Marshal(l)
 	if err != nil {
 		return // Report is always marshalable; defensive only
@@ -183,6 +108,9 @@ func (w *checkpointWriter) append(l checkpointLine) {
 		fmt.Fprintf(os.Stderr, "xfdetector: checkpoint write failed: %v\n", err)
 		return
 	}
+	if !w.sync {
+		return
+	}
 	if err := w.f.Sync(); err != nil {
 		fmt.Fprintf(os.Stderr, "xfdetector: checkpoint sync failed: %v\n", err)
 	}
@@ -191,23 +119,15 @@ func (w *checkpointWriter) append(l checkpointLine) {
 func (w *checkpointWriter) close() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.f.Close()
+	if w.owns {
+		w.f.Close()
+	}
 }
 
 // writeKeys dumps the sorted deduplication keys, one per line — a stable
 // fingerprint of the report set for comparing runs (the kill-and-resume
-// test and the CI smoke steps diff these files). An empty report set writes
-// an empty file: rendering it as a lone newline would be byte-identical to
-// a set holding one empty key.
+// test and the CI smoke steps diff these files). An empty report set
+// writes an empty file.
 func writeKeys(path string, reports []core.Report) error {
-	keys := make([]string, len(reports))
-	for i, r := range reports {
-		keys[i] = r.DedupKey()
-	}
-	sort.Strings(keys)
-	out := ""
-	if len(keys) > 0 {
-		out = strings.Join(keys, "\n") + "\n"
-	}
-	return os.WriteFile(path, []byte(out), 0o644)
+	return os.WriteFile(path, []byte(ckpt.KeysFileText(ckpt.SortedKeys(reports))), 0o644)
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/core"
 )
 
@@ -40,11 +42,11 @@ func TestLoadCheckpointHugeLine(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading a >1MiB-line checkpoint: %v", err)
 	}
-	if len(cp.done) != 3 || !cp.done[0] || !cp.done[1] || !cp.done[2] {
-		t.Errorf("done = %v, want fps 0..2", cp.done)
+	if len(cp.Done) != 3 || !cp.Done[0] || !cp.Done[1] || !cp.Done[2] {
+		t.Errorf("done = %v, want fps 0..2", cp.Done)
 	}
-	if len(cp.seed) != 1 || cp.seed[0].Message != big.Message {
-		t.Errorf("the large report did not survive the round trip (%d seeds)", len(cp.seed))
+	if len(cp.Seed) != 1 || cp.Seed[0].Message != big.Message {
+		t.Errorf("the large report did not survive the round trip (%d seeds)", len(cp.Seed))
 	}
 }
 
@@ -93,14 +95,14 @@ func TestLoadCheckpointSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cp.total != 7 {
-		t.Errorf("total = %d, want 7", cp.total)
+	if cp.Total != 7 {
+		t.Errorf("total = %d, want 7", cp.Total)
 	}
-	if len(cp.done) != 1 || !cp.done[0] {
-		t.Errorf("done = %v, want fp 0 only (summary lines are not failure points)", cp.done)
+	if len(cp.Done) != 1 || !cp.Done[0] {
+		t.Errorf("done = %v, want fp 0 only (summary lines are not failure points)", cp.Done)
 	}
 	perf := 0
-	for _, rep := range cp.seed {
+	for _, rep := range cp.Seed {
 		if rep.FailurePoint < 0 {
 			perf++
 		}
@@ -176,6 +178,70 @@ func TestMergeZeroTotalWithCheckpointedPoints(t *testing.T) {
 	}
 	if res.Incomplete {
 		t.Errorf("genuinely empty campaign merged as incomplete: %s", res.IncompleteReason)
+	}
+}
+
+// TestMergedBucketAccounting is the regression test for the fabricated
+// merge accounting: mergeCheckpoints used to set PostRuns to the
+// covered-point count, so a pruned campaign's merge claimed post-runs
+// that never executed. The merged result must instead sum the per-shard
+// summary buckets and uphold the same disjoint-bucket invariant every
+// single-process run does.
+func TestMergedBucketAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs full detection campaigns")
+	}
+	// The repetitive-update shape makes pruning bite: most failure points
+	// collapse into a few crash-state classes, so covered != post-ran.
+	const base = "-workload btree -init 2 -test 1 -updates 2 -update-rounds 20 -patch btree-skip-add-leaf"
+	const shards = 3
+	dir := t.TempDir()
+	paths := make([]string, shards)
+	wantPostRuns, wantPruned := 0, 0
+	for i := 0; i < shards; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("s%d.ckpt", i))
+		code, out := runCLI(t, fmt.Sprintf("%s -shards %d -shard-index %d -checkpoint %s", base, shards, i, paths[i]))
+		if code != 0 && code != 1 {
+			t.Fatalf("shard %d exited %d:\n%s", i, code, out)
+		}
+		lines, err := ckpt.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range lines {
+			if l.IsSummary() {
+				wantPostRuns += l.PostRuns
+				wantPruned += l.Pruned
+			}
+		}
+	}
+	if wantPruned == 0 {
+		t.Fatal("campaign shape pruned nothing; the regression needs covered > post-ran")
+	}
+
+	res, err := mergeCheckpoints(paths, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Fatalf("full merge incomplete: %s", res.IncompleteReason)
+	}
+	if res.PostRuns != wantPostRuns {
+		t.Errorf("merged post-runs = %d, want %d (the sum of the shard summaries, not the covered-point count)",
+			res.PostRuns, wantPostRuns)
+	}
+	if res.PrunedFailurePoints != wantPruned {
+		t.Errorf("merged pruned = %d, want %d", res.PrunedFailurePoints, wantPruned)
+	}
+	if res.PostRuns >= res.FailurePoints {
+		t.Errorf("merged post-runs (%d) >= failure points (%d): the pruned campaign's accounting is fabricated",
+			res.PostRuns, res.FailurePoints)
+	}
+	if got := res.BucketedFailurePoints(); got != res.FailurePoints {
+		t.Errorf("merged bucket invariant broken: buckets sum to %d, %d failure points", got, res.FailurePoints)
+	}
+	if res.OtherShardFailurePoints != 0 {
+		t.Errorf("merged other-shard = %d, want 0 (the union has no other shards)", res.OtherShardFailurePoints)
 	}
 }
 

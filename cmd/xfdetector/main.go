@@ -20,14 +20,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/pmemgo/xfdetector/internal/core"
 	"github.com/pmemgo/xfdetector/internal/pmem"
 	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/serve"
 	"github.com/pmemgo/xfdetector/internal/workloads"
 )
 
@@ -90,6 +93,12 @@ func realMain(args []string) int {
 		shardIndex  = fs.Int("shard-index", -1, "this process's shard in [0, shards)")
 		spawn       = fs.Int("spawn", 0, "fork this many shard subprocesses, supervise them (re-spawning crashed shards with -resume), and merge their checkpoints")
 		merge       = fs.Bool("merge", false, "merge mode: union the checkpoint files given as arguments into one report (use before positional operands, e.g. -merge -keys-out k.txt a.ckpt b.ckpt)")
+		serveAddr   = fs.String("serve", "", "run the distributed campaign daemon on this address (host:port); campaigns arrive over the HTTP/JSON API and are scheduled as shard leases onto -worker processes")
+		workerURL   = fs.String("worker", "", "join the fleet of the campaign daemon at this URL: poll for shard leases, run each shard in a subprocess, and stream its checkpoint lines back")
+		submitURL   = fs.String("submit", "", "submit the campaign described by the workload flags to the daemon at this URL (-shards N picks the shard count), wait for it, and print the merged report")
+		leaseTTL    = fs.Duration("lease-ttl", 15*time.Second, "daemon heartbeat deadline per lease: a worker silent this long loses the lease and its shard is rescheduled with -resume")
+		heartbeatIv = fs.Duration("heartbeat", 5*time.Second, "worker keepalive period while a shard child runs")
+		killGrace   = fs.Duration("kill-grace", serve.DefaultKillGrace, "grace period after SIGTERM before a supervised shard that ignores cancellation is SIGKILLed (orchestrator and worker teardown)")
 		verbose     = fs.Bool("v", false, "print per-run statistics even when clean")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,11 +109,49 @@ func realMain(args []string) int {
 		listPatches()
 		return 0
 	}
+	modes := 0
+	for _, on := range []bool{*merge, *spawn != 0, *serveAddr != "", *workerURL != "", *submitURL != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errorf("-merge, -spawn, -serve, -worker and -submit are mutually exclusive modes")
+	}
 	if *merge {
-		if *spawn > 0 || *shards > 0 {
-			return errorf("-merge cannot be combined with -spawn or -shards")
+		if *shards > 0 {
+			return errorf("-merge cannot be combined with -shards")
 		}
 		return runMerge(fs.Args(), *keysOut)
+	}
+	if *serveAddr != "" {
+		if *shards > 0 || *shardIndex >= 0 {
+			return errorf("-serve does not take a shard layout; -submit picks -shards per campaign")
+		}
+		return runServe(*serveAddr, *workdir, *leaseTTL)
+	}
+	if *workerURL != "" {
+		if *shards > 0 || *shardIndex >= 0 || *workdir != "" {
+			return errorf("-worker takes its shard assignments from the daemon; drop -shards/-shard-index/-workdir")
+		}
+		return runWorker(*workerURL, *heartbeatIv, *killGrace)
+	}
+	if *submitURL != "" {
+		switch {
+		case *shardIndex >= 0:
+			return errorf("-submit does not take -shard-index; the daemon schedules every shard")
+		case *shards < 0:
+			return errorf("-shards must be >= 0")
+		case *workdir != "":
+			return errorf("-workdir belongs to the daemon (-serve) or orchestrator (-spawn), not -submit")
+		case *ckptPath != "" || *resume:
+			return errorf("-submit campaigns checkpoint on the daemon; drop -checkpoint/-resume")
+		}
+		campaignShards := *shards
+		if campaignShards == 0 {
+			campaignShards = 1
+		}
+		return runSubmit(*submitURL, shardBaseArgs(fs), campaignShards, *keysOut)
 	}
 	switch {
 	case *shards < 0:
@@ -125,17 +172,20 @@ func realMain(args []string) int {
 			return errorf("-spawn and -shards are mutually exclusive (-spawn derives the shard layout itself)")
 		case *ckptPath == "":
 			return errorf("-spawn requires -checkpoint: shard checkpoints are what crash recovery and the final merge consume")
+		case *ckptPath == stdioCheckpoint:
+			return errorf("-spawn needs per-shard checkpoint files; -checkpoint - (stdout streaming) is for daemon-scheduled shards")
 		case *poolFile != "" && *workdir == "":
 			return errorf("-spawn with -pool-file requires -workdir: each shard needs its own pool file (two shards sharing one corrupt each other)")
 		}
 		return runSpawn(spawnConfig{
-			shards:   *spawn,
-			baseArgs: shardBaseArgs(fs),
-			ckptBase: *ckptPath,
-			workdir:  *workdir,
-			poolFile: *poolFile != "",
-			resume:   *resume,
-			keysOut:  *keysOut,
+			shards:    *spawn,
+			baseArgs:  shardBaseArgs(fs),
+			ckptBase:  *ckptPath,
+			workdir:   *workdir,
+			poolFile:  *poolFile != "",
+			resume:    *resume,
+			keysOut:   *keysOut,
+			killGrace: *killGrace,
 		})
 	}
 
@@ -189,8 +239,8 @@ func realMain(args []string) int {
 			if err != nil {
 				return errorf("loading checkpoint: %v", err)
 			}
-			cfg.CompletedFailurePoints = cp.done
-			cfg.SeedReports = cp.seed
+			cfg.CompletedFailurePoints = cp.Done
+			cfg.SeedReports = cp.Seed
 		}
 		w, err := openCheckpoint(*ckptPath, *resume)
 		if err != nil {
@@ -248,9 +298,15 @@ func realMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "shard %d/%d: done — %d post-run(s), %d pruned, %d delegated, %d report(s)\n",
 			*shardIndex, *shards, res.PostRuns, res.PrunedFailurePoints, res.OtherShardFailurePoints, len(res.Reports))
 	}
-	fmt.Print(res)
+	// With -checkpoint - the checkpoint JSONL owns stdout (a -worker
+	// supervisor is parsing it), so the human-facing report moves to stderr.
+	resultOut := io.Writer(os.Stdout)
+	if *ckptPath == stdioCheckpoint {
+		resultOut = os.Stderr
+	}
+	fmt.Fprint(resultOut, res)
 	if *verbose {
-		fmt.Printf("mode=%s pool=%dMiB post-timeout=%s\n", cfg.Mode, *poolMB, *postTimeout)
+		fmt.Fprintf(resultOut, "mode=%s pool=%dMiB post-timeout=%s\n", cfg.Mode, *poolMB, *postTimeout)
 	}
 	if *keysOut != "" {
 		if err := writeKeys(*keysOut, res.Reports); err != nil {
@@ -346,6 +402,8 @@ func shardBaseArgs(fs *flag.FlagSet) []string {
 		"spawn": true, "merge": true, "shards": true, "shard-index": true,
 		"checkpoint": true, "resume": true, "keys-out": true, "list": true,
 		"pool-file": true, "workdir": true,
+		"serve": true, "worker": true, "submit": true,
+		"lease-ttl": true, "heartbeat": true, "kill-grace": true,
 	}
 	var args []string
 	fs.Visit(func(f *flag.Flag) {

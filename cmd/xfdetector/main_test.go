@@ -146,14 +146,14 @@ func TestTruncatedCheckpointTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cp.done) != 2 || !cp.done[0] || !cp.done[1] {
-		t.Errorf("done = %v, want fps 0 and 1 (torn fp 2 discarded)", cp.done)
+	if len(cp.Done) != 2 || !cp.Done[0] || !cp.Done[1] {
+		t.Errorf("done = %v, want fps 0 and 1 (torn fp 2 discarded)", cp.Done)
 	}
-	if len(cp.seed) != 1 || cp.seed[0].ReaderIP != "a.go:1" {
-		t.Errorf("seed = %v, want the one recorded report", cp.seed)
+	if len(cp.Seed) != 1 || cp.Seed[0].ReaderIP != "a.go:1" {
+		t.Errorf("seed = %v, want the one recorded report", cp.Seed)
 	}
-	if cp.total != -1 {
-		t.Errorf("total = %d, want -1 (no summary line)", cp.total)
+	if cp.Total != -1 {
+		t.Errorf("total = %d, want -1 (no summary line)", cp.Total)
 	}
 }
 

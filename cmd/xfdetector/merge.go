@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/core"
 )
 
@@ -12,14 +13,13 @@ import (
 //
 //	xfdetector -merge shard0.ckpt shard1.ckpt shard2.ckpt [-keys-out keys.txt]
 //
-// Sharded campaigns run the identical deterministic pre-failure execution,
-// so their checkpoints agree on failure-point numbering; the union of their
-// per-point lines is the single-process campaign's report set once every
-// failure point is covered. Coverage is decided against the summary lines:
-// each completed (shard) campaign records the total failure-point count it
-// observed, and the merge requires every point in [0, total) to be present.
-// The merged result reuses the CLI exit-code contract — 0 clean, 1 bugs,
-// 2 unreadable or inconsistent checkpoints, 3 union incomplete.
+// The mechanics live in ckpt.Merger, which the -serve daemon also drives
+// incrementally as workers stream their lines in; this path just feeds it
+// whole files. The merged result reuses the CLI exit-code contract —
+// 0 clean, 1 bugs, 2 unreadable or inconsistent checkpoints, 3 union
+// incomplete — and its buckets are summed from the shard summaries, so
+// the merged Result satisfies the same PostRuns + Pruned + OtherShard +
+// Resumed + Skipped == FailurePoints invariant as any single run.
 
 // mergeCheckpoints unions the named checkpoints into a single Result with
 // reports deduplicated by DedupKey. Missing files are an error when
@@ -30,87 +30,22 @@ func mergeCheckpoints(paths []string, strict bool) (*core.Result, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("no checkpoint files to merge")
 	}
-	seen := make(map[string]bool)
-	var reports []core.Report
-	done := make(map[int]bool)
-	total := -1
+	m := ckpt.NewMerger()
 	for _, path := range paths {
 		if strict {
 			if _, err := os.Stat(path); err != nil {
 				return nil, err
 			}
 		}
-		cp, err := loadCheckpoint(path)
+		lines, err := ckpt.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		if cp.total >= 0 {
-			if total >= 0 && total != cp.total {
-				return nil, fmt.Errorf("%s: failure-point total %d disagrees with %d from earlier checkpoints; these shards ran different campaigns", path, cp.total, total)
-			}
-			total = cp.total
-		}
-		for fp := range cp.done {
-			done[fp] = true
-		}
-		for _, rep := range cp.seed {
-			if k := rep.DedupKey(); !seen[k] {
-				seen[k] = true
-				reports = append(reports, rep)
-			}
+		if err := m.AddAll(path, lines); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
 		}
 	}
-
-	res := &core.Result{
-		Target:   fmt.Sprintf("merge of %d checkpoint(s)", len(paths)),
-		Reports:  reports,
-		PostRuns: len(done),
-	}
-	maxFP := -1
-	for fp := range done {
-		if fp > maxFP {
-			maxFP = fp
-		}
-	}
-	switch {
-	case total < 0:
-		// No shard finished its campaign, so the true failure-point count
-		// is unknown; whatever was recorded cannot be shown complete.
-		res.FailurePoints = maxFP + 1
-		res.Incomplete = true
-		res.IncompleteReason = "no checkpoint carries a completion summary; the campaign's failure-point total is unknown"
-		res.SkippedFailurePoints = missingBelow(done, maxFP+1)
-	default:
-		res.FailurePoints = total
-		switch {
-		case maxFP >= total:
-			// A per-point line outside [0, total) contradicts the summary.
-			// The degenerate case used to slip through as full coverage: a
-			// summary claiming total 0 merged with nonzero checkpointed
-			// failure points left missingBelow(done, 0) == 0, and the union
-			// exited 0/1 instead of 3. The checkpoints disagree about the
-			// campaign, so the union cannot be shown complete.
-			res.Incomplete = true
-			res.IncompleteReason = fmt.Sprintf("checkpoint records failure point %d but the completion summary claims only %d; these checkpoints describe different campaigns", maxFP, total)
-			res.SkippedFailurePoints = missingBelow(done, total)
-		case missingBelow(done, total) > 0:
-			res.Incomplete = true
-			res.IncompleteReason = fmt.Sprintf("union covers %d of %d failure points", len(done), total)
-			res.SkippedFailurePoints = missingBelow(done, total)
-		}
-	}
-	return res, nil
-}
-
-// missingBelow counts failure points in [0, n) absent from done.
-func missingBelow(done map[int]bool, n int) int {
-	missing := 0
-	for fp := 0; fp < n; fp++ {
-		if !done[fp] {
-			missing++
-		}
-	}
-	return missing
+	return m.Result(fmt.Sprintf("merge of %d checkpoint(s)", len(paths))), nil
 }
 
 // runMerge is the -merge entry point: union, print, optionally write the

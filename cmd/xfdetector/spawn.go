@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +13,9 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"github.com/pmemgo/xfdetector/internal/ckpt"
+	"github.com/pmemgo/xfdetector/internal/serve"
 )
 
 // Orchestrator mode: -spawn N forks N shard subprocesses of this binary
@@ -30,8 +32,9 @@ import (
 // child process. The child's real argv carries the same flags (so ps and
 // pkill can see them), but the environment copy is authoritative: when the
 // orchestrator is a re-exec'd test binary, argv must not reach the testing
-// package's flag parser.
-const shardArgsEnv = "XFDETECTOR_SHARD_ARGS"
+// package's flag parser. The -worker loop spawns shards with the same
+// convention, so the constant lives in internal/serve.
+const shardArgsEnv = serve.ShardArgsEnv
 
 // spawnTestKillEnv names a shard index whose first incarnation the
 // orchestrator SIGKILLs once that shard has durably checkpointed at least
@@ -57,6 +60,9 @@ type spawnConfig struct {
 	poolFile bool
 	resume   bool
 	keysOut  string
+	// killGrace is the SIGTERM→SIGKILL escalation window for shards that
+	// ignore the cancellation request (-kill-grace).
+	killGrace time.Duration
 }
 
 func shardCkptPath(base string, idx int) string {
@@ -213,12 +219,15 @@ func runShardOnce(ctx context.Context, sc spawnConfig, idx int, ckpt string, res
 	}
 
 	// Cancellation (^C on the orchestrator) asks the shard to stop at its
-	// next failure-point boundary; its checkpoint stays resumable.
+	// next failure-point boundary; its checkpoint stays resumable. A shard
+	// that ignores the SIGTERM — wedged in a post-run the deadline didn't
+	// catch — is SIGKILLed after the grace period, so shutdown can never
+	// hang on fwd.Wait()/cmd.Wait() forever.
 	waitDone := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
-			cmd.Process.Signal(syscall.SIGTERM)
+			serve.TerminateThenKill(cmd.Process, waitDone, sc.killGrace)
 		case <-waitDone:
 		}
 	}()
@@ -239,14 +248,22 @@ func runShardOnce(ctx context.Context, sc spawnConfig, idx int, ckpt string, res
 }
 
 // forwardLines copies one shard output stream to stderr, one prefixed line
-// at a time so the fleet's interleaved progress stays readable.
+// at a time so the fleet's interleaved progress stays readable. It reads
+// through ckpt.ForEachLine — bufio.Reader, no line cap — because the old
+// bufio.Scanner with its fixed 1 MiB buffer would hit ErrTooLong on one
+// long line (a big report set printed by a shard) and silently drop the
+// rest of the stream for the shard's lifetime. Long lines are truncated
+// and marked for display only; nothing parsed goes through here.
 func forwardLines(r io.Reader, idx int) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		fmt.Fprintf(os.Stderr, "[shard %d] %s\n", idx, sc.Text())
-	}
+	ckpt.ForEachLine(r, func(line string) error {
+		fmt.Fprintf(os.Stderr, "[shard %d] %s\n", idx, ckpt.Truncate(line, forwardLineCap))
+		return nil
+	})
 }
+
+// forwardLineCap bounds forwarded display lines, mirroring the worker
+// loop's cap in internal/serve.
+const forwardLineCap = 16 << 10
 
 // killShardWhenCheckpointed implements the test hook: SIGKILL the shard
 // once its checkpoint holds at least two durable lines, guaranteeing the

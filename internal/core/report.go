@@ -244,6 +244,17 @@ type Result struct {
 // consume it.
 func (r *Result) PreTrace() *trace.Trace { return r.trace }
 
+// BucketedFailurePoints sums the disjoint per-failure-point buckets. For
+// every run — and for every honest merge of runs — it equals
+// FailurePoints: each injected point lands in exactly one of post-run,
+// pruned-as-class-member, delegated-to-another-shard, reused-from-a-
+// checkpoint, or skipped. The merge paths and the accounting tests assert
+// this invariant instead of trusting any single bucket.
+func (r *Result) BucketedFailurePoints() int {
+	return r.PostRuns + r.PrunedFailurePoints + r.OtherShardFailurePoints +
+		r.ResumedFailurePoints + r.SkippedFailurePoints
+}
+
 // Count returns the number of reports of the given class.
 func (r *Result) Count(c BugClass) int {
 	n := 0

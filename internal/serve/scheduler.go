@@ -1,0 +1,419 @@
+// Package serve turns the xfdetector CLI into a distributed campaign
+// service: a daemon (-serve) accepts campaign submissions over an
+// HTTP/JSON API, splits each into per-shard leases, and schedules the
+// leases onto registered workers (-worker); every worker runs the
+// existing shard path (-shards N -shard-index i -checkpoint -) and
+// streams the shard's checkpoint JSONL lines back over its lease, which
+// the daemon appends to per-shard files and merges online with live
+// coverage accounting. Leases carry heartbeat deadlines: a worker that
+// goes silent has its lease expired and the shard rescheduled with
+// -resume against the daemon-held checkpoint — the crash-respawn
+// semantics the -spawn orchestrator implements locally, generalized over
+// the network.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pmemgo/xfdetector/internal/ckpt"
+	"github.com/pmemgo/xfdetector/internal/core"
+)
+
+// CampaignSpec is a submission: the workload/engine argument vector every
+// shard shares, and how many shards to split the campaign into.
+type CampaignSpec struct {
+	Args   []string `json:"args"`
+	Shards int      `json:"shards"`
+}
+
+// LeaseGrant is what a worker receives for one shard: the full child
+// argument vector (the daemon owns the shard layout; the worker execs it
+// verbatim), and — for a rescheduled shard — the daemon-held checkpoint
+// to pipe into the child's stdin alongside -resume.
+type LeaseGrant struct {
+	Lease      string   `json:"lease"`
+	Campaign   string   `json:"campaign"`
+	Shard      int      `json:"shard"`
+	Shards     int      `json:"shards"`
+	Args       []string `json:"args"`
+	Resume     bool     `json:"resume"`
+	Checkpoint string   `json:"checkpoint,omitempty"`
+}
+
+// shard lease/state machine:
+//
+//	pending ──acquire──▶ leased ──finish 0/1/3──▶ done
+//	   ▲                    │
+//	   │   expiry / crash / release (attempts left)
+//	   └────────────────────┘            resume=true
+//
+// A shard that exhausts its attempts is finalized with exit 3 (the
+// -spawn orchestrator's giving-up semantics); the campaign completes
+// Incomplete through the merge's coverage check.
+const (
+	shardPending = "pending"
+	shardLeased  = "leased"
+	shardDone    = "done"
+)
+
+type shardState struct {
+	index    int
+	state    string
+	attempts int
+	resume   bool
+	exitCode int
+	gaveUp   bool
+	lines    int
+	worker   string
+	path     string // daemon-held checkpoint file
+	lease    string // active lease ID when leased
+}
+
+const (
+	campaignRunning = "running"
+	campaignDone    = "done"
+	campaignFailed  = "failed"
+)
+
+type campaign struct {
+	id      string
+	spec    CampaignSpec
+	dir     string
+	shards  []*shardState
+	merger  *ckpt.Merger
+	state   string
+	failure string
+	result  *core.Result
+}
+
+type lease struct {
+	id       string
+	c        *campaign
+	sh       *shardState
+	worker   string
+	deadline time.Time
+}
+
+// Server is the campaign daemon's state: campaigns in submission order, a
+// lease table, and the per-campaign online mergers. It is driven by the
+// HTTP handlers (Handler) but fully usable in-process for tests.
+type Server struct {
+	// Workdir owns the per-campaign directories (c<N>/shard<i>.ckpt).
+	Workdir string
+	// LeaseTTL is the heartbeat deadline: a lease not renewed (by lines,
+	// a heartbeat, or completion) within it is expired and its shard
+	// rescheduled.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds the lease chain per shard: the initial grant
+	// plus the crash recoveries, mirroring the -spawn orchestrator.
+	MaxAttempts int
+	// Logf receives scheduler events; nil logs to stderr.
+	Logf func(format string, args ...any)
+
+	now func() time.Time
+
+	mu        sync.Mutex
+	campaigns []*campaign
+	byID      map[string]*campaign
+	leases    map[string]*lease
+	nextC     int
+	nextL     int
+}
+
+// NewServer returns a daemon rooted at workdir (which must exist) with
+// the given heartbeat TTL.
+func NewServer(workdir string, ttl time.Duration) *Server {
+	return &Server{
+		Workdir:     workdir,
+		LeaseTTL:    ttl,
+		MaxAttempts: 4,
+		now:         time.Now,
+		byID:        make(map[string]*campaign),
+		leases:      make(map[string]*lease),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[serve] "+format+"\n", args...)
+}
+
+// ownedFlags are argument prefixes a submission must not carry: the
+// daemon owns the shard layout and checkpoint transport, and a worker is
+// not a place to start nested orchestration.
+var ownedFlags = []string{
+	"-spawn", "-merge", "-shards", "-shard-index", "-checkpoint", "-resume",
+	"-keys-out", "-serve", "-worker", "-submit", "-workdir", "-pool-file",
+}
+
+// Submit validates and registers a campaign, returning its ID. Shards are
+// all pending; workers pick them up on their next poll.
+func (s *Server) Submit(spec CampaignSpec) (string, error) {
+	if spec.Shards < 1 {
+		return "", fmt.Errorf("campaign needs at least 1 shard, got %d", spec.Shards)
+	}
+	for _, arg := range spec.Args {
+		name := strings.SplitN(arg, "=", 2)[0]
+		for _, owned := range ownedFlags {
+			if name == owned {
+				return "", fmt.Errorf("submission must not carry %s: the daemon owns shard layout and checkpoint transport", arg)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextC++
+	c := &campaign{
+		id:     fmt.Sprintf("c%d", s.nextC),
+		spec:   spec,
+		dir:    filepath.Join(s.Workdir, fmt.Sprintf("c%d", s.nextC)),
+		merger: ckpt.NewMerger(),
+		state:  campaignRunning,
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return "", fmt.Errorf("creating campaign dir: %v", err)
+	}
+	for i := 0; i < spec.Shards; i++ {
+		c.shards = append(c.shards, &shardState{
+			index: i,
+			state: shardPending,
+			path:  filepath.Join(c.dir, fmt.Sprintf("shard%d.ckpt", i)),
+		})
+	}
+	s.campaigns = append(s.campaigns, c)
+	s.byID[c.id] = c
+	s.logf("campaign %s submitted: %d shard(s), args %q", c.id, spec.Shards, strings.Join(spec.Args, " "))
+	return c.id, nil
+}
+
+// shardArgs is the child argument vector for one shard of a campaign: the
+// shared workload flags plus the shard layout and the stdout checkpoint
+// stream (stdin-seeded when resuming).
+func shardArgs(spec CampaignSpec, index int, resume bool) []string {
+	args := append([]string{}, spec.Args...)
+	if spec.Shards > 1 {
+		args = append(args, "-shards", fmt.Sprint(spec.Shards), "-shard-index", fmt.Sprint(index))
+	}
+	args = append(args, "-checkpoint", "-")
+	if resume {
+		args = append(args, "-resume")
+	}
+	return args
+}
+
+// Acquire grants the oldest pending shard to the worker, or returns nil
+// when nothing is schedulable. Every call first expires overdue leases,
+// so a polling fleet is itself the expiry clock (no reaper goroutine to
+// leak); a rescheduled shard's grant carries the daemon-held checkpoint.
+func (s *Server) Acquire(worker string) (*LeaseGrant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+
+	for _, c := range s.campaigns {
+		if c.state != campaignRunning {
+			continue
+		}
+		for _, sh := range c.shards {
+			if sh.state != shardPending {
+				continue
+			}
+			sh.attempts++
+			sh.state = shardLeased
+			sh.worker = worker
+			s.nextL++
+			l := &lease{
+				id:       fmt.Sprintf("l%d", s.nextL),
+				c:        c,
+				sh:       sh,
+				worker:   worker,
+				deadline: s.now().Add(s.LeaseTTL),
+			}
+			sh.lease = l.id
+			s.leases[l.id] = l
+			var held []byte
+			if sh.resume {
+				held, _ = os.ReadFile(sh.path) // absent file = empty checkpoint
+			}
+			s.logf("lease %s: campaign %s shard %d/%d -> worker %s (attempt %d/%d%s)",
+				l.id, c.id, sh.index, c.spec.Shards, worker, sh.attempts, s.MaxAttempts,
+				map[bool]string{true: ", -resume", false: ""}[sh.resume])
+			return &LeaseGrant{
+				Lease:      l.id,
+				Campaign:   c.id,
+				Shard:      sh.index,
+				Shards:     c.spec.Shards,
+				Args:       shardArgs(c.spec, sh.index, sh.resume),
+				Resume:     sh.resume,
+				Checkpoint: string(held),
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// expireLocked reschedules every shard whose lease missed its heartbeat
+// deadline.
+func (s *Server) expireLocked() {
+	now := s.now()
+	for id, l := range s.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(s.leases, id)
+		l.sh.lease = ""
+		s.logf("lease %s (campaign %s shard %d, worker %s) missed its heartbeat deadline; rescheduling with -resume",
+			id, l.c.id, l.sh.index, l.worker)
+		s.rescheduleLocked(l.c, l.sh)
+	}
+}
+
+// rescheduleLocked returns a shard to the pending queue with -resume, or
+// finalizes it as given-up (exit 3, the orchestrator's semantics) when
+// its attempts are exhausted.
+func (s *Server) rescheduleLocked(c *campaign, sh *shardState) {
+	if sh.attempts >= s.MaxAttempts {
+		sh.state = shardDone
+		sh.exitCode = 3
+		sh.gaveUp = true
+		s.logf("campaign %s shard %d: giving up after %d attempt(s)", c.id, sh.index, sh.attempts)
+		s.maybeCompleteLocked(c)
+		return
+	}
+	sh.state = shardPending
+	sh.resume = true
+}
+
+// activeLease validates a lease ID and renews its heartbeat deadline.
+func (s *Server) activeLease(id string) (*lease, error) {
+	l, ok := s.leases[id]
+	if !ok {
+		return nil, ErrLeaseGone
+	}
+	l.deadline = s.now().Add(s.LeaseTTL)
+	return l, nil
+}
+
+// Heartbeat renews a lease's deadline; a long post-run produces no
+// checkpoint lines, and silence must not read as death.
+func (s *Server) Heartbeat(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	_, err := s.activeLease(id)
+	return err
+}
+
+// AppendLines takes a chunk of checkpoint JSONL from a lease, appends it
+// durably to the shard's daemon-held file, and folds each line into the
+// campaign's online merge. Lines from an expired lease are rejected — its
+// shard may already be streaming from another worker, and double-counting
+// a summary would corrupt the bucket accounting.
+func (s *Server) AppendLines(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	l, err := s.activeLease(id)
+	if err != nil {
+		return err
+	}
+
+	var lines []ckpt.Line
+	parsed, err := ckpt.Read(strings.NewReader(string(data)), "lease "+id)
+	if err != nil {
+		return fmt.Errorf("parsing streamed lines: %v", err)
+	}
+	lines = parsed
+
+	f, err := os.OpenFile(l.sh.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+
+	source := fmt.Sprintf("shard%d", l.sh.index)
+	for _, line := range lines {
+		if err := l.c.merger.Add(source, line); err != nil {
+			return err
+		}
+	}
+	l.sh.lines += len(lines)
+	return nil
+}
+
+// Finish resolves a lease: released=true is a worker-initiated teardown
+// (shutdown; the shard is rescheduled), exit 0/1/3 is a final shard
+// outcome, exit 2 is a usage/harness error that would fail every
+// incarnation alike and fails the campaign, and anything else — death by
+// signal surfaces as -1 — is a crash, rescheduled with -resume while
+// attempts remain.
+func (s *Server) Finish(id string, code int, released bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	l, err := s.activeLease(id)
+	if err != nil {
+		return err
+	}
+	delete(s.leases, id)
+	l.sh.lease = ""
+
+	switch {
+	case released:
+		s.logf("lease %s released by worker %s; rescheduling campaign %s shard %d", id, l.worker, l.c.id, l.sh.index)
+		s.rescheduleLocked(l.c, l.sh)
+	case code == 0 || code == 1 || code == 3:
+		l.sh.state = shardDone
+		l.sh.exitCode = code
+		s.logf("campaign %s shard %d finished (exit %d) on worker %s after %d attempt(s)",
+			l.c.id, l.sh.index, code, l.worker, l.sh.attempts)
+		s.maybeCompleteLocked(l.c)
+	case code == 2:
+		l.sh.state = shardDone
+		l.sh.exitCode = code
+		l.c.state = campaignFailed
+		l.c.failure = fmt.Sprintf("shard %d exited 2 (usage or harness error) on worker %s", l.sh.index, l.worker)
+		s.logf("campaign %s failed: %s", l.c.id, l.c.failure)
+	default:
+		s.logf("campaign %s shard %d crashed (exit %d) on worker %s; rescheduling with -resume",
+			l.c.id, l.sh.index, code, l.worker)
+		s.rescheduleLocked(l.c, l.sh)
+	}
+	return nil
+}
+
+// maybeCompleteLocked finalizes a campaign once every shard is done: the
+// online merger already holds the union, so completion is just the
+// coverage check and the bucket sums.
+func (s *Server) maybeCompleteLocked(c *campaign) {
+	if c.state != campaignRunning {
+		return
+	}
+	for _, sh := range c.shards {
+		if sh.state != shardDone {
+			return
+		}
+	}
+	c.state = campaignDone
+	c.result = c.merger.Result(fmt.Sprintf("campaign %s (%d shard(s))", c.id, c.spec.Shards))
+	s.logf("campaign %s complete: %d/%d failure points covered, %d report(s)%s",
+		c.id, c.merger.Covered(), c.result.FailurePoints, len(c.result.Reports),
+		map[bool]string{true: ", INCOMPLETE", false: ""}[c.result.Incomplete])
+}

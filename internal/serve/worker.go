@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/pmemgo/xfdetector/internal/ckpt"
+)
+
+// ShardArgsEnv carries a shard child's argument vector, JSON-encoded, to
+// the child process. The child's real argv carries the same flags (so ps
+// and pkill can see them), but the environment copy is authoritative:
+// when the supervisor is a re-exec'd test binary, argv must not reach the
+// testing package's flag parser. The -spawn orchestrator and the worker
+// loop share this convention (and therefore the same child binaries).
+const ShardArgsEnv = "XFDETECTOR_SHARD_ARGS"
+
+// ErrWorkerCrashed is returned by Worker.Run when the deterministic crash
+// hook fired: the worker killed its shard child and vanished without
+// finishing or releasing the lease, exactly like a machine going down.
+// The daemon finds out by heartbeat expiry.
+var ErrWorkerCrashed = errors.New("worker crash hook fired")
+
+// forwardLineCap bounds how much of one shard output line a supervisor
+// forwards for display; parsing paths never truncate.
+const forwardLineCap = 16 << 10
+
+// Worker runs shard leases against a daemon: poll for a lease, exec the
+// shard child it names, stream the child's checkpoint stdout back line by
+// line (each send renews the heartbeat; a ticker covers line-less
+// stretches inside long post-runs), and resolve the lease with the
+// child's exit code. On teardown — shutdown, or the daemon declaring the
+// lease gone — the child gets SIGTERM and, after Grace, SIGKILL.
+type Worker struct {
+	Client *Client
+	// ID names this worker in leases and logs.
+	ID string
+	// Exe is the xfdetector binary to exec for shard children; ExtraEnv
+	// is appended to its environment.
+	Exe      string
+	ExtraEnv []string
+	// Poll is the idle lease-poll interval, HeartbeatEvery the keepalive
+	// period while a child runs, Grace the SIGTERM→SIGKILL escalation.
+	Poll           time.Duration
+	HeartbeatEvery time.Duration
+	Grace          time.Duration
+	// Output receives forwarded shard progress lines (default stderr).
+	Output io.Writer
+	// CrashAfterLines, when > 0, is the deterministic crash hook for the
+	// lease-expiry tests and CI smoke: after streaming that many
+	// checkpoint lines the worker SIGKILLs its child and returns
+	// ErrWorkerCrashed without telling the daemon anything.
+	CrashAfterLines int
+
+	crashed bool
+	sent    int
+}
+
+func (w *Worker) out() io.Writer {
+	if w.Output != nil {
+		return w.Output
+	}
+	return os.Stderr
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	fmt.Fprintf(w.out(), "[worker %s] "+format+"\n", append([]any{w.ID}, args...)...)
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 2 * time.Second
+}
+
+// Run processes leases until the context is cancelled (returning
+// ctx.Err()) or the crash hook fires (ErrWorkerCrashed). A daemon that is
+// briefly unreachable is retried at the poll interval — workers outlive
+// daemon restarts.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.Client.Acquire(w.ID)
+		if err != nil {
+			w.logf("lease poll failed (will retry): %v", err)
+			grant = nil
+		}
+		if grant == nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.poll()):
+			}
+			continue
+		}
+		if err := w.runLease(ctx, grant); err != nil {
+			if errors.Is(err, ErrWorkerCrashed) {
+				return err
+			}
+			w.logf("lease %s: %v", grant.Lease, err)
+		}
+	}
+}
+
+// runLease executes one shard child to an outcome and resolves the lease.
+func (w *Worker) runLease(ctx context.Context, grant *LeaseGrant) error {
+	w.logf("lease %s: campaign %s shard %d/%d%s", grant.Lease, grant.Campaign,
+		grant.Shard, grant.Shards, map[bool]string{true: " (-resume)", false: ""}[grant.Resume])
+
+	encoded, err := json.Marshal(grant.Args)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(w.Exe, grant.Args...)
+	cmd.Env = append(append(os.Environ(), w.ExtraEnv...), ShardArgsEnv+"="+string(encoded))
+	// The daemon-held checkpoint rides in on stdin: with -checkpoint -
+	// and -resume the child seeds its completed-failure-point set from
+	// it, the crash-respawn semantics of -spawn carried over the network.
+	cmd.Stdin = strings.NewReader(grant.Checkpoint)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+
+	// waitDone closes once the child has been waited on; teardown closes
+	// leaseLost at most once to trigger the SIGTERM→SIGKILL escalation.
+	waitDone := make(chan struct{})
+	leaseLost := make(chan struct{})
+	var loseOnce sync.Once
+	loseLease := func() { loseOnce.Do(func() { close(leaseLost) }) }
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-leaseLost:
+		case <-waitDone:
+			return
+		}
+		TerminateThenKill(cmd.Process, waitDone, w.Grace)
+	}()
+
+	// Keepalive: a post-run can run far longer than the lease TTL without
+	// emitting a checkpoint line.
+	hbEvery := w.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = 5 * time.Second
+	}
+	hbStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if err := w.Client.Heartbeat(grant.Lease); errors.Is(err, ErrLeaseGone) {
+					w.logf("lease %s: daemon expired it; tearing down shard child", grant.Lease)
+					loseLease()
+					return
+				}
+			}
+		}
+	}()
+
+	w.sent = 0
+	var fwd sync.WaitGroup
+	fwd.Add(1)
+	go func() {
+		defer fwd.Done()
+		ckpt.ForEachLine(stderr, func(line string) error {
+			fmt.Fprintf(w.out(), "[worker %s shard %d] %s\n", w.ID, grant.Shard, ckpt.Truncate(line, forwardLineCap))
+			return nil
+		})
+	}()
+
+	// The checkpoint stream: every stdout line is one durable JSONL
+	// record, forwarded verbatim (never truncated — it is the wire
+	// format, not display output).
+	errStreamStop := errors.New("stop streaming")
+	streamErr := ckpt.ForEachLine(stdout, func(line string) error {
+		if strings.TrimSpace(line) == "" {
+			return nil
+		}
+		if err := w.Client.SendLines(grant.Lease, []byte(line+"\n")); err != nil {
+			if errors.Is(err, ErrLeaseGone) {
+				w.logf("lease %s: daemon rejected lines; tearing down shard child", grant.Lease)
+				loseLease()
+				return errStreamStop
+			}
+			w.logf("lease %s: streaming line failed: %v", grant.Lease, err)
+		}
+		w.sent++
+		if w.CrashAfterLines > 0 && w.sent >= w.CrashAfterLines && !w.crashed {
+			w.crashed = true
+			cmd.Process.Kill()
+			return errStreamStop
+		}
+		return nil
+	})
+	if streamErr != nil && streamErr != errStreamStop {
+		w.logf("lease %s: checkpoint stream error: %v", grant.Lease, streamErr)
+	}
+	// Drain whatever the child still writes after we stopped streaming so
+	// its pipe cannot block; then reap it.
+	io.Copy(io.Discard, stdout)
+	fwd.Wait()
+	waitErr := cmd.Wait()
+	close(waitDone)
+	close(hbStop)
+
+	code := 0
+	if waitErr != nil {
+		code = -1
+		var ee *exec.ExitError
+		if errors.As(waitErr, &ee) {
+			code = ee.ExitCode()
+		}
+	}
+
+	switch {
+	case w.crashed:
+		// Crash hook: vanish. No finish, no release — the lease dies by
+		// heartbeat expiry, exactly like a machine loss.
+		return ErrWorkerCrashed
+	case leaseClosed(leaseLost) && ctx.Err() == nil:
+		// The daemon already expired the lease; nothing to resolve.
+		return nil
+	case ctx.Err() != nil:
+		// Shutdown teardown: release so the daemon reschedules without
+		// waiting out the TTL. Best effort — the lease would expire
+		// anyway.
+		w.Client.Finish(grant.Lease, code, true)
+		return ctx.Err()
+	default:
+		w.logf("lease %s: shard %d exited %d", grant.Lease, grant.Shard, code)
+		return w.Client.Finish(grant.Lease, code, false)
+	}
+}
+
+func leaseClosed(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
