@@ -13,9 +13,14 @@
 //	xfdbench -experiment all        everything, in paper order
 //
 // It also converts `go test -bench` output into the machine-readable
-// baseline format (BENCH_baseline.json at the repo root):
+// baseline format (BENCH_baseline.json at the repo root), and compares
+// two such baselines as a perf-regression gate:
 //
 //	go test -bench . -benchtime=1x -run '^$' . | xfdbench -parse-bench - -o BENCH_baseline.json
+//	xfdbench -threshold 25 -compare BENCH_baseline.json new.json
+//
+// -compare prints per-benchmark ns/op and post-s/op deltas and exits 1
+// when any benchmark regressed more than -threshold percent.
 //
 // Absolute times differ from the paper's Optane testbed; the shapes —
 // post-failure time dominating, linear scaling in failure points, and the
@@ -38,6 +43,8 @@ func main() {
 		experiment = flag.String("experiment", "all", "fig12a | fig12b | fig13 | table1 | table4 | table5 | coverage | newbugs | all")
 		outPath    = flag.String("o", "", "write results to this file instead of stdout")
 		parseBench = flag.String("parse-bench", "", "parse `go test -bench` output from this file (- for stdin) into baseline JSON instead of running experiments")
+		compare    = flag.String("compare", "", "compare this baseline JSON against the one named by the next argument; exit 1 past -threshold")
+		threshold  = flag.Float64("threshold", 10, "regression threshold for -compare, in percent")
 	)
 	flag.Parse()
 
@@ -49,6 +56,28 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fatalf("-compare wants exactly one more baseline: xfdbench -compare old.json new.json")
+		}
+		old, err := readBaseline(*compare)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur, err := readBaseline(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		regressed, err := bench.CompareBaselines(out, old, cur, *threshold/100)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(regressed) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *parseBench != "" {
@@ -120,6 +149,20 @@ func writeTable4(w io.Writer) error {
 		fmt.Fprintf(w, "%-16s %-14s %s\n", row.Name, row.Type, extra)
 	}
 	return nil
+}
+
+// readBaseline loads one -compare operand.
+func readBaseline(path string) (*bench.BenchBaseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base, err := bench.ReadBaselineJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -84,8 +84,10 @@ func openCheckpoint(path string, resuming bool) (*checkpointWriter, error) {
 
 // record is installed as core.Config.OnPostRunComplete. The detector
 // serializes these calls, but the lock keeps the writer safe regardless.
-func (w *checkpointWriter) record(fp int, fresh []core.Report) {
-	w.append(ckpt.Line{FP: fp, Reports: fresh})
+// The crash-state fingerprint rides along on every per-point line so the
+// -serve daemon can correlate streamed verdicts across shards.
+func (w *checkpointWriter) record(fp int, fpr uint64, fresh []core.Report) {
+	w.append(ckpt.Line{FP: fp, FPrint: fpr, Reports: fresh})
 }
 
 // recordSummary appends the completion summary: the campaign's total

@@ -26,9 +26,9 @@ func TestLoadCheckpointHugeLine(t *testing.T) {
 	}
 	big := core.Report{Class: core.PostFailureFault, FailurePoint: 1,
 		Message: strings.Repeat("stack frame / ", 1<<17)} // ~1.8 MiB marshaled
-	w.record(0, nil)
-	w.record(1, []core.Report{big})
-	w.record(2, nil)
+	w.record(0, 0, nil)
+	w.record(1, 0, []core.Report{big})
+	w.record(2, 0, nil)
 	w.close()
 
 	fi, err := os.Stat(ckpt)
@@ -79,7 +79,7 @@ func TestLoadCheckpointSummary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.record(0, []core.Report{{Class: core.CrossFailureRace, ReaderIP: "r.go:1", WriterIP: "w.go:2", FailurePoint: 0}})
+	w.record(0, 0, []core.Report{{Class: core.CrossFailureRace, ReaderIP: "r.go:1", WriterIP: "w.go:2", FailurePoint: 0}})
 	res := &core.Result{
 		FailurePoints: 7,
 		Reports: []core.Report{

@@ -31,6 +31,7 @@ import (
 	"github.com/pmemgo/xfdetector/internal/pmem"
 	"github.com/pmemgo/xfdetector/internal/pmredis"
 	"github.com/pmemgo/xfdetector/internal/serve"
+	"github.com/pmemgo/xfdetector/internal/vcache"
 	"github.com/pmemgo/xfdetector/internal/workloads"
 )
 
@@ -83,6 +84,9 @@ func realMain(args []string) int {
 		fullCopy    = fs.Bool("full-copy-snapshots", false, "copy the full PM image at every failure point instead of incremental dirty-page snapshots (ablation)")
 		denseShadow = fs.Bool("dense-shadow", false, "use flat per-byte shadow arrays sized to the pool instead of the sparse paged shadow PM (ablation)")
 		noPrune     = fs.Bool("no-prune", false, "run every failure point instead of testing one representative per crash-state class (ablation; the report-key set is identical either way)")
+		vcachePath  = fs.String("verdict-cache", "", "consult and extend this fsynced on-disk crash-state verdict cache, keyed by (program/config identity, fingerprint): failure points whose class a previous campaign of the identical program resolved cleanly skip their post-runs (CacheHits). With -spawn each shard gets its own cache file; with -serve the daemon holds one under -workdir")
+		noCrossShard = fs.Bool("no-cross-shard-prune", false, "ablation: daemon-scheduled shards run every class representative themselves instead of claiming classes against the campaign's cross-shard registry (the report-key set is identical either way)")
+		noVCache     = fs.Bool("no-verdict-cache", false, "ablation: ignore the on-disk verdict cache (local -verdict-cache and the -serve daemon's cache alike)")
 		updRounds   = fs.Int("update-rounds", 1, "repeat the -updates pass this many times with identical values (the pruning ablation's repetitive-loop shape)")
 		ckptPath    = fs.String("checkpoint", "", "append completed failure points to this JSONL file")
 		resume      = fs.Bool("resume", false, "skip failure points already recorded in -checkpoint (and reopen the -pool-file, skipping the writeback of already-persisted pages)")
@@ -128,6 +132,9 @@ func realMain(args []string) int {
 		if *shards > 0 || *shardIndex >= 0 {
 			return errorf("-serve does not take a shard layout; -submit picks -shards per campaign")
 		}
+		if *vcachePath != "" {
+			return errorf("-serve keeps its verdict cache under -workdir; drop -verdict-cache")
+		}
 		return runServe(*serveAddr, *workdir, *leaseTTL)
 	}
 	if *workerURL != "" {
@@ -146,12 +153,14 @@ func realMain(args []string) int {
 			return errorf("-workdir belongs to the daemon (-serve) or orchestrator (-spawn), not -submit")
 		case *ckptPath != "" || *resume:
 			return errorf("-submit campaigns checkpoint on the daemon; drop -checkpoint/-resume")
+		case *vcachePath != "":
+			return errorf("-submit campaigns use the daemon's verdict cache; drop -verdict-cache (-no-verdict-cache opts a campaign out)")
 		}
 		campaignShards := *shards
 		if campaignShards == 0 {
 			campaignShards = 1
 		}
-		return runSubmit(*submitURL, shardBaseArgs(fs), campaignShards, *keysOut)
+		return runSubmit(*submitURL, shardBaseArgs(fs), campaignShards, *poolFile != "", *keysOut)
 	}
 	switch {
 	case *shards < 0:
@@ -177,12 +186,17 @@ func realMain(args []string) int {
 		case *poolFile != "" && *workdir == "":
 			return errorf("-spawn with -pool-file requires -workdir: each shard needs its own pool file (two shards sharing one corrupt each other)")
 		}
+		vc := *vcachePath
+		if *noVCache {
+			vc = "" // lay no cache files the shards would ignore anyway
+		}
 		return runSpawn(spawnConfig{
 			shards:    *spawn,
 			baseArgs:  shardBaseArgs(fs),
 			ckptBase:  *ckptPath,
 			workdir:   *workdir,
 			poolFile:  *poolFile != "",
+			vcache:    vc,
 			resume:    *resume,
 			keysOut:   *keysOut,
 			killGrace: *killGrace,
@@ -250,14 +264,36 @@ func realMain(args []string) int {
 		ckptW = w
 		cfg.OnPostRunComplete = w.record
 	}
+	if *vcachePath != "" && *noPrune {
+		return errorf("-verdict-cache requires pruning; drop -no-prune")
+	}
+	if cfg.Mode == core.ModeDetect && !*noPrune {
+		// Cross-process verdict sharing. A daemon-scheduled shard (the
+		// -worker sets the env pair) claims classes against the campaign's
+		// registry over the lease API; a standalone campaign consults the
+		// on-disk cross-campaign cache directly.
+		url, lease := os.Getenv(serve.VerdictURLEnv), os.Getenv(serve.VerdictLeaseEnv)
+		switch {
+		case url != "" && lease != "" && !*noCrossShard:
+			cfg.Verdicts = &serve.LeaseVerdicts{Client: &serve.Client{BaseURL: url}, Lease: lease}
+		case *vcachePath != "" && !*noVCache:
+			vc, err := vcache.Open(*vcachePath)
+			if err != nil {
+				return errorf("opening verdict cache: %v", err)
+			}
+			defer vc.Close()
+			cfg.Verdicts = vc.Bind(programIdentity(*workload, *patch, *mode, *initSize,
+				*testSize, *updates, *updRounds, *removes, *poolMB, *maxFP))
+		}
+	}
 	if *shards > 1 {
 		// Shard progress on stderr: the -spawn orchestrator streams these
 		// lines, prefixed per shard, while the fleet runs.
 		inner := cfg.OnPostRunComplete
 		completed := 0
-		cfg.OnPostRunComplete = func(fp int, fresh []core.Report) {
+		cfg.OnPostRunComplete = func(fp int, fpr uint64, fresh []core.Report) {
 			if inner != nil {
-				inner(fp, fresh)
+				inner(fp, fpr, fresh)
 			}
 			completed++ // callbacks are serialized by the detector
 			if completed%shardProgressEvery == 0 {
@@ -393,6 +429,30 @@ func listPatches() {
 // shardProgressEvery paces the per-shard stderr progress lines.
 const shardProgressEvery = 10
 
+// programIdentity hashes the flags that determine a campaign's crash-state
+// classes and reports into the verdict cache's identity key. Shard layout
+// and worker count are deliberately excluded — every shard of every layout
+// of the same program computes the same fingerprints and verdicts — while
+// anything that changes the traced program (workload, patch, sizes,
+// mode, the failure-point cap) must change the identity: fingerprints
+// cover only the pre-failure state, so two programs differing solely in
+// their post-failure stage collide on fingerprints and are told apart by
+// identity alone.
+func programIdentity(workload, patch, mode string, initSize, testSize, updates, updRounds, removes, poolMB, maxFP int) uint64 {
+	return vcache.Identity(
+		"workload="+workload,
+		"patch="+patch,
+		"mode="+mode,
+		fmt.Sprintf("init=%d", initSize),
+		fmt.Sprintf("test=%d", testSize),
+		fmt.Sprintf("updates=%d", updates),
+		fmt.Sprintf("update-rounds=%d", updRounds),
+		fmt.Sprintf("removes=%d", removes),
+		fmt.Sprintf("pool-mb=%d", poolMB),
+		fmt.Sprintf("max-failure-points=%d", maxFP),
+	)
+}
+
 // shardBaseArgs rebuilds the workload/engine flags a -spawn orchestrator
 // forwards to every shard: every flag the user set except the ones the
 // orchestrator owns (shard layout, checkpoint paths, merge/keys output).
@@ -401,7 +461,7 @@ func shardBaseArgs(fs *flag.FlagSet) []string {
 	owned := map[string]bool{
 		"spawn": true, "merge": true, "shards": true, "shard-index": true,
 		"checkpoint": true, "resume": true, "keys-out": true, "list": true,
-		"pool-file": true, "workdir": true,
+		"pool-file": true, "workdir": true, "verdict-cache": true,
 		"serve": true, "worker": true, "submit": true,
 		"lease-ttl": true, "heartbeat": true, "kill-grace": true,
 	}

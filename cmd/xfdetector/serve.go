@@ -8,11 +8,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
 	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/serve"
+	"github.com/pmemgo/xfdetector/internal/vcache"
 )
 
 // Distributed campaign modes. The daemon and workers share one binary:
@@ -45,6 +48,14 @@ func runServe(addr, workdir string, leaseTTL time.Duration) int {
 	}
 
 	srv := serve.NewServer(workdir, leaseTTL)
+	// The daemon owns the cross-campaign verdict cache: one file under the
+	// workdir, shared by every campaign it ever schedules.
+	cache, err := vcache.Open(filepath.Join(workdir, "verdicts.cache"))
+	if err != nil {
+		return errorf("opening verdict cache: %v", err)
+	}
+	defer cache.Close()
+	srv.Cache = cache
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return errorf("listening on %s: %v", addr, err)
@@ -76,10 +87,17 @@ func runWorker(daemonURL string, heartbeat, killGrace time.Duration) int {
 		return errorf("locating worker binary: %v", err)
 	}
 	host, _ := os.Hostname()
+	var caps []string
+	if runtime.GOOS == "linux" {
+		// File-backed pools are mmap/msync-based and linux-only; only
+		// linux workers can run -pool-file campaign shards.
+		caps = append(caps, serve.CapFileBacked)
+	}
 	w := &serve.Worker{
 		Client:         &serve.Client{BaseURL: daemonURL},
 		ID:             fmt.Sprintf("%s-%d", host, os.Getpid()),
 		Exe:            exe,
+		Caps:           caps,
 		HeartbeatEvery: heartbeat,
 		Grace:          killGrace,
 	}
@@ -105,9 +123,9 @@ func runWorker(daemonURL string, heartbeat, killGrace time.Duration) int {
 
 // runSubmit submits one campaign, waits for it, prints the merged report,
 // and optionally writes the key fingerprint.
-func runSubmit(daemonURL string, args []string, shards int, keysOut string) int {
+func runSubmit(daemonURL string, args []string, shards int, poolFile bool, keysOut string) int {
 	client := &serve.Client{BaseURL: daemonURL}
-	id, err := client.Submit(serve.CampaignSpec{Args: args, Shards: shards})
+	id, err := client.Submit(serve.CampaignSpec{Args: args, Shards: shards, PoolFile: poolFile})
 	if err != nil {
 		return errorf("submitting campaign: %v", err)
 	}

@@ -58,8 +58,14 @@ type spawnConfig struct {
 	// poolFile requests file-backed shard pools (-pool-file on each shard,
 	// pointing at its own file under workdir).
 	poolFile bool
-	resume   bool
-	keysOut  string
+	// vcache, when set, gives every shard a cross-campaign verdict cache.
+	// Each shard gets its own file (shard<i>.vcache under workdir, else
+	// <path>.shard<i>): shards never share a class — equal fingerprints
+	// land on the same shard by the round-robin split — so per-shard files
+	// lose no sharing, and concurrent processes never contend on one file.
+	vcache  string
+	resume  bool
+	keysOut string
 	// killGrace is the SIGTERM→SIGKILL escalation window for shards that
 	// ignore the cancellation request (-kill-grace).
 	killGrace time.Duration
@@ -83,6 +89,14 @@ func (sc spawnConfig) shardCkpt(idx int) string {
 // instead of two shards corrupting one image.
 func (sc spawnConfig) shardPool(idx int) string {
 	return filepath.Join(sc.workdir, fmt.Sprintf("shard%d.pool", idx))
+}
+
+// shardVCache is shard idx's private verdict-cache file.
+func (sc spawnConfig) shardVCache(idx int) string {
+	if sc.workdir != "" {
+		return filepath.Join(sc.workdir, fmt.Sprintf("shard%d.vcache", idx))
+	}
+	return fmt.Sprintf("%s.shard%d", sc.vcache, idx)
 }
 
 // runSpawn supervises the shard fleet and merges its checkpoints.
@@ -177,6 +191,9 @@ func runShardOnce(ctx context.Context, sc spawnConfig, idx int, ckpt string, res
 		"-checkpoint", ckpt)
 	if sc.poolFile {
 		args = append(args, "-pool-file", sc.shardPool(idx))
+	}
+	if sc.vcache != "" {
+		args = append(args, "-verdict-cache", sc.shardVCache(idx))
 	}
 	if resume {
 		// -resume covers both the checkpoint and, for file-backed shards,

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+)
+
+// Baseline comparison (xfdbench -compare): two parsed benchmark runs,
+// matched by benchmark name, with per-benchmark deltas on wall time
+// (ns/op) and post-failure time (post-s/op) — the metric the detection
+// optimizations actually move. A delta past the regression threshold
+// flags the run, which is the CI perf gate: the smoke workflow compares
+// every push's benchmark pass against the checked-in baseline.
+
+// ReadBaselineJSON loads a baseline cmd/xfdbench wrote with WriteJSON.
+func ReadBaselineJSON(r io.Reader) (*BenchBaseline, error) {
+	base := &BenchBaseline{}
+	if err := json.NewDecoder(r).Decode(base); err != nil {
+		return nil, fmt.Errorf("bench: decoding baseline: %w", err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: baseline holds no benchmarks")
+	}
+	return base, nil
+}
+
+// comparedMetrics are the metrics CompareBaselines reports and gates on,
+// in report order. ns/op is stored on its own field, so it is handled
+// explicitly; post-s/op rides in the Metrics map.
+var comparedMetrics = []string{"ns/op", "post-s/op"}
+
+// metricValue extracts one compared metric, reporting presence.
+func metricValue(res BenchResult, metric string) (float64, bool) {
+	if metric == "ns/op" {
+		return res.NsPerOp, true
+	}
+	v, ok := res.Metrics[metric]
+	return v, ok
+}
+
+// cpuSuffix is the "-N" GOMAXPROCS suffix `go test -bench` appends to
+// benchmark names. It varies with the machine, and a baseline recorded
+// on one core count must still match a run from another, so names are
+// compared with the suffix stripped.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchKey is the machine-independent identity of a benchmark name.
+func benchKey(name string) string { return cpuSuffix.ReplaceAllString(name, "") }
+
+// CompareBaselines writes a per-benchmark delta table for every
+// benchmark present in both runs and returns the names of benchmarks
+// whose new value regressed past threshold (a fraction: 0.10 flags
+// anything more than 10% slower) on any compared metric. Benchmarks
+// present on only one side are listed but never flagged — renames must
+// not crash the gate — but comparing two runs with no common benchmark
+// at all is an error, so a baseline from a different suite cannot pass
+// vacuously.
+func CompareBaselines(w io.Writer, old, cur *BenchBaseline, threshold float64) ([]string, error) {
+	oldByName := make(map[string]BenchResult, len(old.Benchmarks))
+	for _, res := range old.Benchmarks {
+		oldByName[benchKey(res.Name)] = res
+	}
+
+	var regressed []string
+	common := 0
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	for _, res := range cur.Benchmarks {
+		prev, ok := oldByName[benchKey(res.Name)]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s  [new]\n", res.Name+" ns/op", "-", res.NsPerOp, "-")
+			continue
+		}
+		common++
+		delete(oldByName, benchKey(res.Name))
+		flagged := false
+		for _, metric := range comparedMetrics {
+			ov, oldHas := metricValue(prev, metric)
+			nv, newHas := metricValue(res, metric)
+			if !oldHas || !newHas {
+				continue
+			}
+			delta := "-"
+			if ov != 0 {
+				ratio := (nv - ov) / ov
+				delta = fmt.Sprintf("%+.1f%%", 100*ratio)
+				if ratio > threshold {
+					delta += " REGRESSED"
+					flagged = true
+				}
+			} else if nv > 0 {
+				delta = "+inf%"
+				flagged = true
+			}
+			fmt.Fprintf(w, "%-60s %14.4g %14.4g %8s\n", res.Name+" "+metric, ov, nv, delta)
+		}
+		if flagged {
+			regressed = append(regressed, res.Name)
+		}
+	}
+	removed := make([]string, 0, len(oldByName))
+	for name := range oldByName {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-60s %14.0f %14s %8s  [removed]\n", name+" ns/op", oldByName[name].NsPerOp, "-", "-")
+	}
+	if common == 0 {
+		return nil, fmt.Errorf("bench: the runs share no benchmark; nothing was compared")
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%%: %v\n",
+			len(regressed), 100*threshold, regressed)
+	}
+	return regressed, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineOf(results ...BenchResult) *BenchBaseline {
+	return &BenchBaseline{Benchmarks: results}
+}
+
+func TestCompareBaselinesFlagsRegressions(t *testing.T) {
+	old := baselineOf(
+		BenchResult{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"post-s/op": 0.010}},
+		BenchResult{Name: "BenchmarkB", NsPerOp: 2000},
+		BenchResult{Name: "BenchmarkGone", NsPerOp: 10},
+	)
+	cur := baselineOf(
+		// ns/op within threshold, but post-s/op doubled: flagged.
+		BenchResult{Name: "BenchmarkA", NsPerOp: 1050, Metrics: map[string]float64{"post-s/op": 0.020}},
+		// 5% slower: inside a 10% threshold.
+		BenchResult{Name: "BenchmarkB", NsPerOp: 2100},
+		BenchResult{Name: "BenchmarkNew", NsPerOp: 5},
+	)
+	var buf bytes.Buffer
+	regressed, err := CompareBaselines(&buf, old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkA" {
+		t.Errorf("regressed = %v, want [BenchmarkA]\n%s", regressed, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "[new]", "[removed]", "post-s/op", "+5.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareBaselinesImprovementIsNotARegression(t *testing.T) {
+	old := baselineOf(BenchResult{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"post-s/op": 0.010}})
+	cur := baselineOf(BenchResult{Name: "BenchmarkA", NsPerOp: 200, Metrics: map[string]float64{"post-s/op": 0.001}})
+	var buf bytes.Buffer
+	regressed, err := CompareBaselines(&buf, old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 0 {
+		t.Errorf("a 5x speedup was flagged: %v\n%s", regressed, buf.String())
+	}
+}
+
+func TestCompareBaselinesIgnoresCPUSuffix(t *testing.T) {
+	old := baselineOf(BenchResult{Name: "BenchmarkA/sub", NsPerOp: 1000})
+	cur := baselineOf(BenchResult{Name: "BenchmarkA/sub-8", NsPerOp: 1000})
+	var buf bytes.Buffer
+	regressed, err := CompareBaselines(&buf, old, cur, 0.10)
+	if err != nil {
+		t.Fatalf("baselines from different core counts did not match: %v\n%s", err, buf.String())
+	}
+	if len(regressed) != 0 || strings.Contains(buf.String(), "[new]") {
+		t.Errorf("suffix-only rename treated as a different benchmark:\n%s", buf.String())
+	}
+}
+
+func TestCompareBaselinesRejectsDisjointRuns(t *testing.T) {
+	old := baselineOf(BenchResult{Name: "BenchmarkA", NsPerOp: 1})
+	cur := baselineOf(BenchResult{Name: "BenchmarkB", NsPerOp: 1})
+	var buf bytes.Buffer
+	if _, err := CompareBaselines(&buf, old, cur, 0.10); err == nil {
+		t.Fatal("disjoint benchmark sets compared without error")
+	}
+}
+
+func TestReadBaselineJSONRoundTrip(t *testing.T) {
+	base := baselineOf(BenchResult{Name: "BenchmarkA", Iterations: 3, NsPerOp: 42,
+		Metrics: map[string]float64{"post-s/op": 0.5}})
+	var buf bytes.Buffer
+	if err := base.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaselineJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 42 || got.Benchmarks[0].Metrics["post-s/op"] != 0.5 {
+		t.Errorf("round-trip mismatch: %+v", got.Benchmarks)
+	}
+	if _, err := ReadBaselineJSON(strings.NewReader(`{"benchmarks":[]}`)); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}

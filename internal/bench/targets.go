@@ -172,6 +172,57 @@ const DefaultPoolSize = 4 << 20
 // post-failure operation per failure point.
 var Fig12Config = workloads.TargetConfig{InitSize: 1, TestSize: 1, PostOps: true}
 
+// UpdateLoopTarget is the cross-shard pruning experiment's campaign
+// shape: a steady-state update loop over a fixed set of slots, the
+// server workload whose failure points overwhelmingly freeze repeated
+// crash states. The warm-up pass writes every slot under one persist
+// barrier, so it contributes only a handful of failure points and — by
+// writing each slot once before the loop starts — puts every byte in
+// the same shadow classification the loop maintains: from the first
+// round on, each pass revisits byte-identical crash states. A
+// round-robin shard split then spreads every class's members across all
+// shards, which is exactly the redundancy only the cross-shard verdict
+// channel can remove (per-shard pruning still re-tests each class once
+// per shard).
+func UpdateLoopTarget(name string, slots, rounds int) core.Target {
+	return core.Target{
+		Name: name,
+		Pre: func(c *core.Ctx) error {
+			p := c.Pool()
+			// A dirty byte the post stage reads: present in every crash
+			// image but never persisted, so each class's representative
+			// reports the same cross-failure race — the campaign finds a
+			// real bug, which gives the cross-shard equivalence tests a
+			// non-empty key set to hold fixed.
+			p.Store64(uint64(slots)*64, 1)
+			// One store site for warm-up and loop: the crash-state
+			// fingerprint attributes each byte to its writer, so a separate
+			// warm-up store line would leave the loop's first round
+			// classifying differently (bytes not yet rewritten still blame
+			// the warm-up) and turn a full round into unique classes.
+			store := func(i int) { p.Store64(uint64(i)*64, uint64(i)+1) }
+			for i := 0; i < slots; i++ {
+				store(i)
+			}
+			p.Persist(0, uint64(slots)*64)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < slots; i++ {
+					store(i)
+					p.Persist(uint64(i)*64, 8)
+				}
+			}
+			return nil
+		},
+		Post: func(c *core.Ctx) error {
+			p := c.Pool()
+			for i := 0; i <= slots; i++ {
+				p.Load64(uint64(i) * 64)
+			}
+			return nil
+		},
+	}
+}
+
 // PruneAblationConfig is the crash-state pruning ablation's workload
 // configuration: a small structure whose update pass is repeated thirty
 // times with identical values, so the bulk of the failure points freeze

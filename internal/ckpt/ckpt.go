@@ -36,6 +36,11 @@ const SummaryFP = -1
 type Line struct {
 	FP      int           `json:"fp"`
 	Reports []core.Report `json:"reports,omitempty"`
+	// FPrint is the failure point's crash-state fingerprint, set on
+	// per-point lines by pruning runs (zero under -no-prune and on legacy
+	// checkpoints, both of which still parse). The -serve daemon uses it
+	// to correlate streamed verdicts across a campaign's shards.
+	FPrint uint64 `json:"fpr,omitempty"`
 	// Total and Shards are only set on the summary line: the campaign's
 	// failure-point count and the shard layout that wrote it (0 when the
 	// campaign was not sharded).
@@ -67,6 +72,13 @@ type Line struct {
 	Resumed    int `json:"resumed,omitempty"`
 	Skipped    int `json:"skipped,omitempty"`
 	Abandoned  int `json:"abandoned,omitempty"`
+	// CrossShard and CacheHits extend the bucket invariant for verdict
+	// sharing: failure points attributed from another shard's clean class
+	// representative (the -serve registry) and from a previous campaign's
+	// on-disk verdict cache. PostRuns + Pruned + CrossShard + CacheHits +
+	// OtherShard + Resumed + Skipped == Total.
+	CrossShard int `json:"cross_shard,omitempty"`
+	CacheHits  int `json:"cache_hits,omitempty"`
 }
 
 // IsSummary reports whether the line is a campaign-completion summary.
@@ -89,6 +101,8 @@ func Summary(res *core.Result, shards int) Line {
 		Resumed:         res.ResumedFailurePoints,
 		Skipped:         res.SkippedFailurePoints,
 		Abandoned:       res.AbandonedPostRuns,
+		CrossShard:      res.CrossShardPrunedFailurePoints,
+		CacheHits:       res.CacheHitFailurePoints,
 	}
 	for _, rep := range res.Reports {
 		if rep.FailurePoint < 0 {

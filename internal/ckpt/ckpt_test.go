@@ -227,6 +227,90 @@ func TestMergerLegacyFallback(t *testing.T) {
 	}
 }
 
+// TestMergerMixedEraCheckpoints: a legacy bucket-less, fingerprint-less
+// checkpoint merged with a new-era one carrying fingerprints and the
+// cross-shard/cache-hit buckets must still satisfy the coverage invariant;
+// a gap in the union must still come out Incomplete (the CLI's exit 3)
+// regardless of which era covered the surrounding points.
+func TestMergerMixedEraCheckpoints(t *testing.T) {
+	mixed := func(coverNewEra []int) *Merger {
+		m := NewMerger()
+		// Legacy shard: per-point lines without fingerprints, summary
+		// without buckets (pre-PR 8 wire format).
+		for _, fp := range []int{0, 2} {
+			if err := m.Add("legacy", Line{FP: fp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Add("legacy", Line{FP: SummaryFP, Total: 6}); err != nil {
+			t.Fatal(err)
+		}
+		// New-era shard: fingerprint-bearing lines, full buckets including
+		// the verdict-sharing ones.
+		for _, fp := range coverNewEra {
+			if err := m.Add("new", Line{FP: fp, FPrint: 0xdeadbeef + uint64(fp)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := Line{FP: SummaryFP, Total: 6, PostRuns: 1, Pruned: 1,
+			CrossShard: 1, CacheHits: 1, OtherShard: 2}
+		if err := m.Add("new", s); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	res := mixed([]int{1, 3, 4, 5}).Result("test")
+	if res.Incomplete {
+		t.Fatalf("full mixed-era union came out incomplete: %s", res.IncompleteReason)
+	}
+	if res.CrossShardPrunedFailurePoints != 1 || res.CacheHitFailurePoints != 1 {
+		t.Errorf("merged verdict buckets: cross-shard=%d cache-hits=%d, want 1 and 1",
+			res.CrossShardPrunedFailurePoints, res.CacheHitFailurePoints)
+	}
+	// Legacy's 2 covered points are unaccounted by its bucket-less summary
+	// and fall back to PostRuns: 1 (new) + 2 (fallback) = 3.
+	if res.PostRuns != 3 {
+		t.Errorf("merged post-runs = %d, want 3 (1 summed + 2 legacy fallback)", res.PostRuns)
+	}
+	if got := res.BucketedFailurePoints(); got != res.FailurePoints {
+		t.Errorf("bucket invariant broken on the mixed-era union: buckets sum to %d, %d failure points",
+			got, res.FailurePoints)
+	}
+
+	// Same merge with failure point 4 missing: a gap is a gap in any era.
+	res = mixed([]int{1, 3, 5}).Result("test")
+	if !res.Incomplete {
+		t.Fatal("mixed-era union with a gap came out complete")
+	}
+	if got := res.BucketedFailurePoints(); got != res.FailurePoints {
+		t.Errorf("bucket invariant broken on the incomplete union: buckets sum to %d, %d failure points",
+			got, res.FailurePoints)
+	}
+}
+
+// TestSummaryCarriesVerdictBuckets: the fp=-1 summary round-trips the
+// cross-shard and cache-hit buckets and keeps the extended invariant.
+func TestSummaryCarriesVerdictBuckets(t *testing.T) {
+	res := &core.Result{
+		FailurePoints:                 12,
+		PostRuns:                      3,
+		PrunedFailurePoints:           2,
+		CrossShardPrunedFailurePoints: 4,
+		CacheHitFailurePoints:         2,
+		ResumedFailurePoints:          1,
+	}
+	line := Summary(res, 3)
+	if line.CrossShard != 4 || line.CacheHits != 2 {
+		t.Fatalf("summary carries cross_shard=%d cache_hits=%d, want 4 and 2", line.CrossShard, line.CacheHits)
+	}
+	sum := line.PostRuns + line.Pruned + line.CrossShard + line.CacheHits +
+		line.OtherShard + line.Resumed + line.Skipped
+	if sum != line.Total {
+		t.Fatalf("extended summary buckets sum to %d, total is %d", sum, line.Total)
+	}
+}
+
 // TestMergerTotalConflict: sources whose summaries disagree on the
 // failure-point total ran different campaigns.
 func TestMergerTotalConflict(t *testing.T) {

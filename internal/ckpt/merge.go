@@ -108,11 +108,13 @@ func (m *Merger) Result(target string) *core.Result {
 	for _, s := range m.sources {
 		res.PostRuns += s.PostRuns
 		res.PrunedFailurePoints += s.Pruned
+		res.CrossShardPrunedFailurePoints += s.CrossShard
+		res.CacheHitFailurePoints += s.CacheHits
 		res.ResumedFailurePoints += s.Resumed
 		res.SkippedFailurePoints += s.Skipped
 		res.CrashStateClasses += s.Classes
 		res.AbandonedPostRuns += s.Abandoned
-		accounted += s.PostRuns + s.Pruned + s.Resumed
+		accounted += s.PostRuns + s.Pruned + s.CrossShard + s.CacheHits + s.Resumed
 	}
 	if extra := len(m.done) - accounted; extra > 0 {
 		res.PostRuns += extra

@@ -135,10 +135,20 @@ type Config struct {
 	// OnPostRunComplete, if set, is called after the post-run of each
 	// failure point completes (including budget-exceeded and abandoned
 	// runs, which are deterministic, but not quarantined or cancelled ones,
-	// which a resumed campaign must re-execute) with the failure point's id
-	// and the reports that post-run newly added. Calls are serialized but
-	// may come from worker goroutines in parallel mode.
-	OnPostRunComplete func(failurePoint int, fresh []Report)
+	// which a resumed campaign must re-execute) with the failure point's
+	// id, its crash-state fingerprint (zero when pruning is disabled), and
+	// the reports that post-run newly added. Calls are serialized but may
+	// come from worker goroutines in parallel mode.
+	OnPostRunComplete func(failurePoint int, fingerprint uint64, fresh []Report)
+	// Verdicts, if set, shares crash-state class verdicts beyond this
+	// process: the runner claims each class before running its local
+	// representative and publishes the representative's outcome back (see
+	// VerdictSource). Attributed points land in
+	// Result.CrossShardPrunedFailurePoints (a shard elsewhere resolved the
+	// class during this campaign) or Result.CacheHitFailurePoints (a
+	// previous campaign's cached verdict). Requires pruning (ignored under
+	// DisablePruning or outside ModeDetect).
+	Verdicts VerdictSource
 	// ShardCount/ShardIndex partition a campaign's failure points across
 	// cooperating processes: shard i executes the post-run of failure
 	// point fp iff fp % ShardCount == ShardIndex. Every shard traces the
@@ -344,6 +354,9 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		HarnessFaults:        r.harnessFaults,
 		CrashStateClasses:    r.classesTested,
 		PrunedFailurePoints:  r.prunedFPs,
+
+		CrossShardPrunedFailurePoints: r.crossShardFPs,
+		CacheHitFailurePoints:         r.cacheHitFPs,
 	}
 	if cfg.ShardCount > 1 {
 		res.ShardCount = cfg.ShardCount
@@ -412,6 +425,8 @@ type runner struct {
 	classes       map[uint64]*crashClass
 	classesTested int
 	prunedFPs     int
+	crossShardFPs int
+	cacheHitFPs   int
 
 	// sinkMu serializes trace recording and failure injection, so
 	// multithreaded mutators are traced safely (§7: the paper's frontend
@@ -467,10 +482,11 @@ func (r *runner) noteQuarantined(fpID int, err error) {
 }
 
 // completeFP delivers the checkpoint callback for one completed post-run.
-func (r *runner) completeFP(fpID int, fresh []Report) {
+// fpr is the point's crash-state fingerprint (zero when pruning is off).
+func (r *runner) completeFP(fpID int, fpr uint64, fresh []Report) {
 	if cb := r.cfg.OnPostRunComplete; cb != nil {
 		r.cbMu.Lock()
-		cb(fpID, fresh)
+		cb(fpID, fpr, fresh)
 		r.cbMu.Unlock()
 	}
 }
@@ -605,9 +621,10 @@ func (r *runner) injectFailure() {
 		return
 	}
 	var cls *crashClass
+	var fpr uint64
 	if r.pruning() {
 		var handled bool
-		cls, handled = r.enterClass(fpID)
+		cls, fpr, handled = r.enterClass(fpID)
 		if handled {
 			return
 		}
@@ -618,17 +635,17 @@ func (r *runner) injectFailure() {
 			r.noteQuarantined(fpID, err)
 			// The representative never ran; poison the class so its parked
 			// members execute instead of waiting forever.
-			r.resolveClass(cls, false)
+			r.resolveClass(cls, false, nil)
 			return
 		}
 		r.notePostRun()
 		// Fork under sinkMu: the pre-failure execution is suspended, so
 		// the fork captures exactly the failure point's shadow state.
-		r.engine.submit(fpWork{id: fpID, fork: r.sh.Fork(), snap: snap, cls: cls})
+		r.engine.submit(fpWork{id: fpID, fpr: fpr, fork: r.sh.Fork(), snap: snap, cls: cls})
 		return
 	}
 	start := time.Now()
-	r.runPost(fpID, cls)
+	r.runPost(fpID, fpr, cls)
 	r.postTime += time.Since(start)
 }
 
@@ -714,7 +731,7 @@ func (g *postGate) enter() {
 	}
 }
 
-func (r *runner) runPost(fpID int, cls *crashClass) {
+func (r *runner) runPost(fpID int, fpr uint64, cls *crashClass) {
 	r.notePostRun()
 	out, ok := r.runAttempts(fpID, func() postOutcome {
 		// The image copy contains ALL updates, including non-persisted
@@ -730,13 +747,13 @@ func (r *runner) runPost(fpID int, cls *crashClass) {
 	})
 	if !ok {
 		r.unspawnPostRun()
-		r.resolveClass(cls, false)
+		r.resolveClass(cls, false, nil)
 		return
 	}
 	r.benign += out.benign
 	r.postEntries += out.ents
-	r.finishPost(fpID, out)
-	r.resolveClass(cls, out.clean())
+	r.finishPost(fpID, fpr, out)
+	r.resolveClass(cls, out.clean(), out.fresh)
 }
 
 // runAttempts applies the retry-once-then-quarantine policy shared by the
@@ -836,7 +853,7 @@ func awaitPost(r *runner, gate *postGate, done <-chan error, sink *postSink, cla
 // checkpointed, so a resumed campaign re-executes them; deadline-abandoned
 // runs are deterministic (the uninterrupted campaign times out the same
 // way) and are reported and checkpointed.
-func (r *runner) finishPost(fpID int, out postOutcome) {
+func (r *runner) finishPost(fpID int, fpr uint64, out postOutcome) {
 	if out.cancelled {
 		r.unspawnPostRun()
 		r.noteSkipped("run cancelled during a post-failure execution")
@@ -854,7 +871,7 @@ func (r *runner) finishPost(fpID int, out postOutcome) {
 			out.fresh = append(out.fresh, rep)
 		}
 	}
-	r.completeFP(fpID, out.fresh)
+	r.completeFP(fpID, fpr, out.fresh)
 }
 
 // classifyPostPanic maps a recovered post-stage panic to its error (nil for

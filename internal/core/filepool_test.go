@@ -88,7 +88,7 @@ func TestFileBackedResumeSkipsPersistedMsync(t *testing.T) {
 	var seed []Report
 	first, err := Run(Config{
 		Backend: pmem.FileBackend{Path: path},
-		OnPostRunComplete: func(fp int, fresh []Report) {
+		OnPostRunComplete: func(fp int, _ uint64, fresh []Report) {
 			done[fp] = true
 			seed = append(seed, fresh...)
 		},

@@ -44,7 +44,10 @@ import (
 // in-flight work items, and every reader treats them as immutable — each
 // post-run attempt writes only through its own copy-on-write view.
 type fpWork struct {
-	id   int
+	id int
+	// fpr is the failure point's crash-state fingerprint (zero when
+	// pruning is disabled), threaded through to the checkpoint callback.
+	fpr  uint64
 	fork *shadow.PM
 	snap *pmem.Snapshot
 	// cls is non-nil when this failure point is the representative of a
@@ -132,15 +135,15 @@ func (w *postWorker) check(item fpWork) {
 	})
 	if !ok {
 		r.unspawnPostRun()
-		r.resolveClass(item.cls, false)
+		r.resolveClass(item.cls, false, nil)
 		return
 	}
 	w.eng.mu.Lock()
 	w.eng.benign += out.benign
 	w.eng.postEnts += out.ents
 	w.eng.mu.Unlock()
-	r.finishPost(item.id, out)
-	r.resolveClass(item.cls, out.clean())
+	r.finishPost(item.id, item.fpr, out)
+	r.resolveClass(item.cls, out.clean(), out.fresh)
 }
 
 // safePostCall runs the post-failure stage, converting panics into

@@ -68,6 +68,13 @@ type parkedFP struct {
 type crashClass struct {
 	state  classState
 	parked []parkedFP
+	// fpr is the class's fingerprint, and publish records that this
+	// process owns the class in the run's VerdictSource (claim answered
+	// VerdictOwn) and must publish the representative's outcome on
+	// resolution. Claims answered VerdictRun run locally without
+	// publishing — only the owning shard resolves a shared class.
+	fpr     uint64
+	publish bool
 }
 
 // pruning reports whether this run fingerprints and prunes failure points.
@@ -108,12 +115,12 @@ func (o postOutcome) clean() bool {
 // on a failing snapshot. A nil class with handled=false means the failure
 // point belongs to a dirty class and runs like an unpruned one. Callers
 // hold sinkMu.
-func (r *runner) enterClass(fpID int) (cls *crashClass, handled bool) {
+func (r *runner) enterClass(fpID int) (cls *crashClass, fpr uint64, handled bool) {
 	fp := r.sh.CrashFingerprint()
 	r.pruneMu.Lock()
 	c := r.classes[fp]
 	if c == nil {
-		c = &crashClass{}
+		c = &crashClass{fpr: fp}
 		r.classes[fp] = c
 	}
 	switch c.state {
@@ -122,8 +129,8 @@ func (r *runner) enterClass(fpID int) (cls *crashClass, handled bool) {
 		r.pruneMu.Unlock()
 		// The representative already completed cleanly (and checkpointed
 		// first): attribute its verdict, record coverage, run nothing.
-		r.completeFP(fpID, nil)
-		return nil, true
+		r.completeFP(fpID, fp, nil)
+		return nil, fp, true
 	case classTesting:
 		// Parallel mode: the representative is still in flight. Capture
 		// this failure point's own fork and snapshot now — the pre-failure
@@ -132,19 +139,60 @@ func (r *runner) enterClass(fpID int) (cls *crashClass, handled bool) {
 		if err != nil {
 			r.pruneMu.Unlock()
 			r.noteQuarantined(fpID, err)
-			return nil, true
+			return nil, fp, true
 		}
 		c.parked = append(c.parked, parkedFP{id: fpID, fork: r.sh.Fork(), snap: snap})
 		r.pruneMu.Unlock()
-		return nil, true
+		return nil, fp, true
 	case classUntested:
 		c.state = classTesting
+		r.pruneMu.Unlock()
+		// First local member: consult the run's VerdictSource (if any)
+		// before becoming the representative. The class is already
+		// reserved as classTesting and enterClass is serialized under
+		// sinkMu, so a slow or remote claim cannot race the parking path —
+		// parallel workers only resolve classes, never file new members.
+		verdict := ClassClaim{Verdict: VerdictOwn}
+		if r.cfg.Verdicts != nil {
+			verdict = r.cfg.Verdicts.Claim(fp)
+		}
+		switch verdict.Verdict {
+		case VerdictClean:
+			// Another shard's representative completed cleanly; attribute
+			// its verdict. Its reports live in that shard's checkpoint.
+			r.pruneMu.Lock()
+			c.state = classClean
+			r.crossShardFPs++
+			r.pruneMu.Unlock()
+			r.completeFP(fpID, fp, nil)
+			return nil, fp, true
+		case VerdictCached:
+			// A previous campaign resolved the class cleanly; attribute
+			// the verdict and re-seed its reports so this campaign's
+			// merged report set matches an uncached run byte for byte.
+			r.pruneMu.Lock()
+			c.state = classClean
+			r.cacheHitFPs++
+			r.pruneMu.Unlock()
+			var fresh []Report
+			for _, rep := range verdict.Reports {
+				if r.reports.add(rep) {
+					fresh = append(fresh, rep)
+				}
+			}
+			r.completeFP(fpID, fp, fresh)
+			return nil, fp, true
+		case VerdictOwn:
+			c.publish = true
+		}
+		// VerdictOwn or VerdictRun: run the representative locally.
+		r.pruneMu.Lock()
 		r.classesTested++
 		r.pruneMu.Unlock()
-		return c, false
+		return c, fp, false
 	default: // classDirty
 		r.pruneMu.Unlock()
-		return nil, false
+		return nil, fp, false
 	}
 }
 
@@ -152,8 +200,12 @@ func (r *runner) enterClass(fpID int) (cls *crashClass, handled bool) {
 // members parked behind it: a clean verdict prunes them (checkpointing
 // each as covered), a dirty one runs each inline on the resolving
 // goroutine. The transition is sticky — a class is resolved exactly once.
-// cls is nil for non-representative post-runs.
-func (r *runner) resolveClass(cls *crashClass, clean bool) {
+// When this process owns the class in the run's VerdictSource, the verdict
+// is published with the representative's fresh reports (so a clean class's
+// value-bearing reports can be re-seeded by later campaigns) — after the
+// representative checkpointed, preserving PR 6's attribute-only-after-
+// coverage ordering. cls is nil for non-representative post-runs.
+func (r *runner) resolveClass(cls *crashClass, clean bool, fresh []Report) {
 	if cls == nil {
 		return
 	}
@@ -170,14 +222,18 @@ func (r *runner) resolveClass(cls *crashClass, clean bool) {
 	}
 	parked := cls.parked
 	cls.parked = nil
+	publish := cls.publish
 	r.pruneMu.Unlock()
+	if publish && r.cfg.Verdicts != nil {
+		r.cfg.Verdicts.Resolve(cls.fpr, clean, fresh)
+	}
 	for _, p := range parked {
 		if clean {
-			r.completeFP(p.id, nil)
+			r.completeFP(p.id, cls.fpr, nil)
 			p.fork.Release()
 			continue
 		}
-		r.runParked(p)
+		r.runParked(cls.fpr, p)
 	}
 }
 
@@ -186,7 +242,7 @@ func (r *runner) resolveClass(cls *crashClass, clean bool) {
 // retry-once-then-quarantine semantics as any other post-run. It runs on
 // the goroutine that resolved the class (a parallel worker), inside that
 // worker's timed window, so PostSeconds accounting is unchanged.
-func (r *runner) runParked(p parkedFP) {
+func (r *runner) runParked(fpr uint64, p parkedFP) {
 	defer p.fork.Release()
 	r.notePostRun()
 	out, ok := r.runAttempts(p.id, func() postOutcome {
@@ -205,5 +261,5 @@ func (r *runner) runParked(p parkedFP) {
 		r.benign += out.benign
 		r.postEntries += out.ents
 	}
-	r.finishPost(p.id, out)
+	r.finishPost(p.id, fpr, out)
 }

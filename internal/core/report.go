@@ -175,6 +175,15 @@ type Result struct {
 	// CrashStateClasses.
 	CrashStateClasses   int
 	PrunedFailurePoints int
+	// CrossShardPrunedFailurePoints counts failure points attributed from
+	// another shard's clean class representative via Config.Verdicts (the
+	// -serve campaign registry), and CacheHitFailurePoints counts failure
+	// points attributed from a previous campaign's on-disk verdict cache.
+	// Both are disjoint from PrunedFailurePoints: only the first local
+	// member of a class consults the source; later members of the same
+	// class land in the local pruned bucket as before.
+	CrossShardPrunedFailurePoints int
+	CacheHitFailurePoints         int
 	// PreEntries and PostEntries count traced operations per stage.
 	PreEntries  int
 	PostEntries int
@@ -251,7 +260,8 @@ func (r *Result) PreTrace() *trace.Trace { return r.trace }
 // checkpoint, or skipped. The merge paths and the accounting tests assert
 // this invariant instead of trusting any single bucket.
 func (r *Result) BucketedFailurePoints() int {
-	return r.PostRuns + r.PrunedFailurePoints + r.OtherShardFailurePoints +
+	return r.PostRuns + r.PrunedFailurePoints + r.CrossShardPrunedFailurePoints +
+		r.CacheHitFailurePoints + r.OtherShardFailurePoints +
 		r.ResumedFailurePoints + r.SkippedFailurePoints
 }
 
@@ -308,6 +318,14 @@ func (r *Result) String() string {
 	if r.PrunedFailurePoints > 0 {
 		fmt.Fprintf(&b, "pruning: %d crash-state class(es) tested, %d member failure point(s) skipped\n",
 			r.CrashStateClasses, r.PrunedFailurePoints)
+	}
+	if r.CrossShardPrunedFailurePoints > 0 {
+		fmt.Fprintf(&b, "cross-shard: %d failure point(s) attributed from other shards' representatives\n",
+			r.CrossShardPrunedFailurePoints)
+	}
+	if r.CacheHitFailurePoints > 0 {
+		fmt.Fprintf(&b, "verdict cache: %d failure point(s) reused from a previous campaign\n",
+			r.CacheHitFailurePoints)
 	}
 	if r.ResumedFailurePoints > 0 {
 		fmt.Fprintf(&b, "resumed: %d failure point(s) reused from a checkpoint\n", r.ResumedFailurePoints)

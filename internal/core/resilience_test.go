@@ -424,7 +424,7 @@ func TestResumeConvergesToIdenticalReports(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			var full []line
-			cfg := Config{Workers: workers, OnPostRunComplete: func(fp int, fresh []Report) {
+			cfg := Config{Workers: workers, OnPostRunComplete: func(fp int, _ uint64, fresh []Report) {
 				full = append(full, line{fp, fresh})
 			}}
 			ref, err := Run(cfg, mk())

@@ -169,7 +169,7 @@ func TestShardResumeConverges(t *testing.T) {
 			}
 			var full []line
 			c := cfg
-			c.OnPostRunComplete = func(fp int, fresh []Report) {
+			c.OnPostRunComplete = func(fp int, _ uint64, fresh []Report) {
 				full = append(full, line{fp, fresh})
 			}
 			if _, err := Run(c, target); err != nil {
@@ -228,7 +228,7 @@ func TestParallelCheckpointSerializedAndResumes(t *testing.T) {
 	}
 	var inFlight atomic.Int32
 	var overlapped atomic.Bool
-	cfg := Config{Workers: workers, OnPostRunComplete: func(fp int, fresh []Report) {
+	cfg := Config{Workers: workers, OnPostRunComplete: func(fp int, _ uint64, fresh []Report) {
 		if inFlight.Add(1) != 1 {
 			overlapped.Store(true)
 		}

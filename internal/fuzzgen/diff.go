@@ -90,6 +90,14 @@ func CheckSeed(seed int64, knob Knob) error {
 //     observed post-read byte digest predicted by the oracle, and
 //     identical pruning decisions across sequential, parallel,
 //     dense-shadow and file-backed (cold-page-compacted) runs;
+//   - ModeDetect as a three-shard fleet sharing a core.ClassRegistry
+//     (cross-shard verdict attribution): identical merged key set, exact
+//     per-shard bucket accounting, and exactly one post-run per global
+//     crash-state class across the fleet;
+//   - ModeDetect as a cold+warm campaign pair sharing an on-disk verdict
+//     cache (internal/vcache): both runs reproduce the oracle's key set,
+//     the warm run's cache hits equal the entries the cold run persisted
+//     and its post-runs shrink by exactly that count;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
 //   - ModeOriginal: no tracing at all.
 //
@@ -214,6 +222,18 @@ func CheckProgram(p Program) error {
 			fmt.Sprint(base.CrashStateClasses), fmt.Sprint(res.CrashStateClasses)); err != nil {
 			return err
 		}
+	}
+
+	// Verdict sharing (verdicts.go): the same program as a three-shard
+	// fleet sharing a class registry, and as a cold+warm campaign pair
+	// sharing an on-disk verdict cache. Both must reproduce the oracle's
+	// exact key set while redistributing (cross-shard) or skipping
+	// (warm-cache) the post-runs.
+	if err := checkCrossShard(p, want, base); err != nil {
+		return err
+	}
+	if err := checkWarmCache(p, want, base); err != nil {
+		return err
 	}
 
 	traceOnly, _, err := run(core.Config{Mode: core.ModeTraceOnly})

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"github.com/pmemgo/xfdetector/internal/core"
 )
 
 // Client speaks the daemon's HTTP/JSON API. The zero HTTP client is fine;
@@ -95,10 +97,11 @@ func (c *Client) Campaign(id string) (CampaignStatus, error) {
 	return st, err
 }
 
-// Acquire polls for a lease; nil means nothing is schedulable right now.
-func (c *Client) Acquire(worker string) (*LeaseGrant, error) {
+// Acquire polls for a lease, advertising the worker's capability tags;
+// nil means nothing is schedulable right now.
+func (c *Client) Acquire(worker string, caps ...string) (*LeaseGrant, error) {
 	var grant LeaseGrant
-	err := c.postJSON("/lease", map[string]string{"worker": worker}, &grant)
+	err := c.postJSON("/lease", map[string]any{"worker": worker, "caps": caps}, &grant)
 	if err == errNoContent {
 		return nil, nil
 	}
@@ -106,6 +109,19 @@ func (c *Client) Acquire(worker string) (*LeaseGrant, error) {
 		return nil, err
 	}
 	return &grant, nil
+}
+
+// Claim files a crash-state class claim on the lease.
+func (c *Client) Claim(leaseID string, fingerprint uint64) (ClaimReply, error) {
+	var reply ClaimReply
+	err := c.postJSON("/leases/"+leaseID+"/claim", map[string]any{"fpr": fingerprint}, &reply)
+	return reply, err
+}
+
+// Resolve publishes a class representative's outcome on the lease.
+func (c *Client) Resolve(leaseID string, fingerprint uint64, clean bool, reports []core.Report) error {
+	return c.postJSON("/leases/"+leaseID+"/resolve",
+		map[string]any{"fpr": fingerprint, "clean": clean, "reports": reports}, nil)
 }
 
 // SendLines streams a chunk of checkpoint JSONL (newline-terminated) to

@@ -22,14 +22,24 @@ import (
 
 	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/vcache"
 )
 
 // CampaignSpec is a submission: the workload/engine argument vector every
-// shard shares, and how many shards to split the campaign into.
+// shard shares, and how many shards to split the campaign into. PoolFile
+// requests file-backed PM pools: the daemon lays a per-shard pool file
+// under the campaign directory and only leases the campaign's shards to
+// workers advertising the "file-backed" capability tag.
 type CampaignSpec struct {
-	Args   []string `json:"args"`
-	Shards int      `json:"shards"`
+	Args     []string `json:"args"`
+	Shards   int      `json:"shards"`
+	PoolFile bool     `json:"pool_file,omitempty"`
 }
+
+// CapFileBacked is the worker capability tag for file-backed pool support
+// (pmem.FileBackend is mmap/msync-based and linux-only); workers advertise
+// their tags on every lease poll.
+const CapFileBacked = "file-backed"
 
 // LeaseGrant is what a worker receives for one shard: the full child
 // argument vector (the daemon owns the shard layout; the worker execs it
@@ -89,6 +99,16 @@ type campaign struct {
 	state   string
 	failure string
 	result  *core.Result
+	// registry is the campaign's cross-shard crash-state class table;
+	// shard children claim classes over the lease API (Claim/Resolve) so
+	// each class's representative post-runs on exactly one shard. identity
+	// keys the daemon's cross-campaign verdict cache; noCache opts the
+	// campaign out of it (-no-verdict-cache in the submitted args).
+	// cacheHits counts claims answered from the on-disk cache.
+	registry  *core.ClassRegistry
+	identity  uint64
+	noCache   bool
+	cacheHits int
 }
 
 type lease struct {
@@ -114,6 +134,11 @@ type Server struct {
 	MaxAttempts int
 	// Logf receives scheduler events; nil logs to stderr.
 	Logf func(format string, args ...any)
+	// Cache is the daemon's cross-campaign verdict cache (nil disables
+	// it): clean class verdicts resolved over any campaign's leases are
+	// persisted keyed by (campaign argv identity, crash-state fingerprint)
+	// and answer Claim calls from later campaigns with the same argv.
+	Cache *vcache.Cache
 
 	now func() time.Time
 
@@ -152,6 +177,19 @@ func (s *Server) logf(format string, args ...any) {
 var ownedFlags = []string{
 	"-spawn", "-merge", "-shards", "-shard-index", "-checkpoint", "-resume",
 	"-keys-out", "-serve", "-worker", "-submit", "-workdir", "-pool-file",
+	"-verdict-cache",
+}
+
+// specHasFlag reports whether args sets the named boolean flag (in the
+// -name or -name=value form the CLI's flag forwarding emits).
+func specHasFlag(args []string, flag string) bool {
+	for _, arg := range args {
+		name, val, ok := strings.Cut(arg, "=")
+		if name == flag && (!ok || val != "false") {
+			return true
+		}
+	}
+	return false
 }
 
 // Submit validates and registers a campaign, returning its ID. Shards are
@@ -173,11 +211,14 @@ func (s *Server) Submit(spec CampaignSpec) (string, error) {
 	defer s.mu.Unlock()
 	s.nextC++
 	c := &campaign{
-		id:     fmt.Sprintf("c%d", s.nextC),
-		spec:   spec,
-		dir:    filepath.Join(s.Workdir, fmt.Sprintf("c%d", s.nextC)),
-		merger: ckpt.NewMerger(),
-		state:  campaignRunning,
+		id:       fmt.Sprintf("c%d", s.nextC),
+		spec:     spec,
+		dir:      filepath.Join(s.Workdir, fmt.Sprintf("c%d", s.nextC)),
+		merger:   ckpt.NewMerger(),
+		state:    campaignRunning,
+		registry: core.NewClassRegistry(),
+		identity: vcache.Identity(spec.Args...),
+		noCache:  specHasFlag(spec.Args, "-no-verdict-cache"),
 	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return "", fmt.Errorf("creating campaign dir: %v", err)
@@ -197,11 +238,16 @@ func (s *Server) Submit(spec CampaignSpec) (string, error) {
 
 // shardArgs is the child argument vector for one shard of a campaign: the
 // shared workload flags plus the shard layout and the stdout checkpoint
-// stream (stdin-seeded when resuming).
-func shardArgs(spec CampaignSpec, index int, resume bool) []string {
+// stream (stdin-seeded when resuming). File-backed campaigns get a
+// per-shard pool file under the campaign directory — the same path on
+// every incarnation, so a resumed shard reopens its own pool.
+func shardArgs(spec CampaignSpec, index int, resume bool, dir string) []string {
 	args := append([]string{}, spec.Args...)
 	if spec.Shards > 1 {
 		args = append(args, "-shards", fmt.Sprint(spec.Shards), "-shard-index", fmt.Sprint(index))
+	}
+	if spec.PoolFile {
+		args = append(args, "-pool-file", filepath.Join(dir, fmt.Sprintf("shard%d.pool", index)))
 	}
 	args = append(args, "-checkpoint", "-")
 	if resume {
@@ -214,13 +260,19 @@ func shardArgs(spec CampaignSpec, index int, resume bool) []string {
 // when nothing is schedulable. Every call first expires overdue leases,
 // so a polling fleet is itself the expiry clock (no reaper goroutine to
 // leak); a rescheduled shard's grant carries the daemon-held checkpoint.
-func (s *Server) Acquire(worker string) (*LeaseGrant, error) {
+// caps are the worker's capability tags: campaigns demanding a capability
+// (today only PoolFile -> "file-backed") are skipped for workers that do
+// not advertise it, rather than granted a lease doomed to exit 2.
+func (s *Server) Acquire(worker string, caps ...string) (*LeaseGrant, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked()
 
 	for _, c := range s.campaigns {
 		if c.state != campaignRunning {
+			continue
+		}
+		if c.spec.PoolFile && !hasCap(caps, CapFileBacked) {
 			continue
 		}
 		for _, sh := range c.shards {
@@ -252,7 +304,7 @@ func (s *Server) Acquire(worker string) (*LeaseGrant, error) {
 				Campaign:   c.id,
 				Shard:      sh.index,
 				Shards:     c.spec.Shards,
-				Args:       shardArgs(c.spec, sh.index, sh.resume),
+				Args:       shardArgs(c.spec, sh.index, sh.resume, c.dir),
 				Resume:     sh.resume,
 				Checkpoint: string(held),
 			}, nil
@@ -261,8 +313,21 @@ func (s *Server) Acquire(worker string) (*LeaseGrant, error) {
 	return nil, nil
 }
 
+// hasCap reports whether a worker's capability tags include want.
+func hasCap(caps []string, want string) bool {
+	for _, c := range caps {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
 // expireLocked reschedules every shard whose lease missed its heartbeat
-// deadline.
+// deadline. The expired lease's pending class claims are released so the
+// classes can be re-claimed — a representative whose worker died never
+// resolves, and holding its classes pending forever would stall every
+// other shard's parked members behind a verdict that will never come.
 func (s *Server) expireLocked() {
 	now := s.now()
 	for id, l := range s.leases {
@@ -271,6 +336,7 @@ func (s *Server) expireLocked() {
 		}
 		delete(s.leases, id)
 		l.sh.lease = ""
+		l.c.registry.ReleaseOwner(id)
 		s.logf("lease %s (campaign %s shard %d, worker %s) missed its heartbeat deadline; rescheduling with -resume",
 			id, l.c.id, l.sh.index, l.worker)
 		s.rescheduleLocked(l.c, l.sh)
@@ -374,6 +440,7 @@ func (s *Server) Finish(id string, code int, released bool) error {
 	}
 	delete(s.leases, id)
 	l.sh.lease = ""
+	l.c.registry.ReleaseOwner(id)
 
 	switch {
 	case released:

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"github.com/pmemgo/xfdetector/internal/ckpt"
+	"github.com/pmemgo/xfdetector/internal/core"
 )
 
 // ErrLeaseGone reports a lease the daemon no longer recognizes: expired
@@ -21,6 +22,8 @@ var ErrLeaseGone = errors.New("lease expired or unknown")
 type Buckets struct {
 	PostRuns   int `json:"post_runs"`
 	Pruned     int `json:"pruned"`
+	CrossShard int `json:"cross_shard"`
+	CacheHits  int `json:"cache_hits"`
 	Resumed    int `json:"resumed"`
 	Skipped    int `json:"skipped"`
 	OtherShard int `json:"other_shard"`
@@ -51,7 +54,15 @@ type CampaignStatus struct {
 	Total            int     `json:"total"` // -1 until a shard completes
 	Reports          int     `json:"reports"`
 	Buckets          Buckets `json:"buckets"`
-	Clean            bool    `json:"clean"`
+	// Registry-side verdict-sharing counters, live while the campaign
+	// runs: distinct crash-state classes claimed over the lease API, clean
+	// verdicts attributed to non-owning shards, and claims answered from
+	// the daemon's cross-campaign cache. (Buckets carries the shard-side
+	// view summed from completed summaries; these count as claims happen.)
+	CrashStateClasses int  `json:"crash_state_classes"`
+	CrossShardPruned  int  `json:"cross_shard_pruned"`
+	CacheHits         int  `json:"cache_hits"`
+	Clean             bool `json:"clean"`
 	Incomplete       bool    `json:"incomplete"`
 	IncompleteReason string  `json:"incomplete_reason,omitempty"`
 	FailurePoints    int     `json:"failure_points"`
@@ -81,17 +92,21 @@ func (s *Server) statusLocked(c *campaign) CampaignStatus {
 		Buckets: Buckets{
 			PostRuns:   res.PostRuns,
 			Pruned:     res.PrunedFailurePoints,
+			CrossShard: res.CrossShardPrunedFailurePoints,
+			CacheHits:  res.CacheHitFailurePoints,
 			Resumed:    res.ResumedFailurePoints,
 			Skipped:    res.SkippedFailurePoints,
 			OtherShard: res.OtherShardFailurePoints,
 			Abandoned:  res.AbandonedPostRuns,
 		},
+		CacheHits:        c.cacheHits,
 		Clean:            res.Clean(),
 		Incomplete:       res.Incomplete,
 		IncompleteReason: res.IncompleteReason,
 		FailurePoints:    res.FailurePoints,
 		ExitCode:         -1,
 	}
+	st.CrashStateClasses, st.CrossShardPruned = c.registry.Stats()
 	for _, sh := range c.shards {
 		st.ShardStates = append(st.ShardStates, ShardStatus{
 			Index: sh.index, State: sh.state, Worker: sh.worker,
@@ -146,9 +161,11 @@ func (s *Server) CampaignStatus(id string) (CampaignStatus, error) {
 //	POST /campaigns              {"args":[...],"shards":N} -> {"id":"c1"}
 //	GET  /status                 -> {"campaigns":[...]}
 //	GET  /campaigns/{id}         -> CampaignStatus
-//	POST /lease                  {"worker":"w1"} -> LeaseGrant | 204
+//	POST /lease                  {"worker":"w1","caps":["file-backed"]} -> LeaseGrant | 204
 //	POST /leases/{id}/lines      raw JSONL chunk -> 200 | 409 lease gone
 //	POST /leases/{id}/heartbeat  -> 200 | 409
+//	POST /leases/{id}/claim      {"fpr":N} -> {"verdict":"own|run|clean|cached","reports":[...]} | 409
+//	POST /leases/{id}/resolve    {"fpr":N,"clean":true,"reports":[...]} -> 200 | 409
 //	POST /leases/{id}/done       {"code":0,"released":false} -> 200 | 409
 //	GET  /healthz                -> 200
 func (s *Server) Handler() http.Handler {
@@ -187,13 +204,14 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
-			Worker string `json:"worker"`
+			Worker string   `json:"worker"`
+			Caps   []string `json:"caps"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		grant, err := s.Acquire(req.Worker)
+		grant, err := s.Acquire(req.Worker, req.Caps...)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -216,6 +234,35 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("POST /leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		leaseErr(w, s.Heartbeat(r.PathValue("id")))
+	})
+
+	mux.HandleFunc("POST /leases/{id}/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			FPrint uint64 `json:"fpr"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply, err := s.Claim(r.PathValue("id"), req.FPrint)
+		if err != nil {
+			leaseErr(w, err)
+			return
+		}
+		writeJSON(w, reply)
+	})
+
+	mux.HandleFunc("POST /leases/{id}/resolve", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			FPrint  uint64        `json:"fpr"`
+			Clean   bool          `json:"clean"`
+			Reports []core.Report `json:"reports"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		leaseErr(w, s.Resolve(r.PathValue("id"), req.FPrint, req.Clean, req.Reports))
 	})
 
 	mux.HandleFunc("POST /leases/{id}/done", func(w http.ResponseWriter, r *http.Request) {

@@ -47,6 +47,10 @@ type Worker struct {
 	// is appended to its environment.
 	Exe      string
 	ExtraEnv []string
+	// Caps are the capability tags advertised on every lease poll (e.g.
+	// CapFileBacked); the daemon only grants shards whose campaigns this
+	// worker can actually run.
+	Caps []string
 	// Poll is the idle lease-poll interval, HeartbeatEvery the keepalive
 	// period while a child runs, Grace the SIGTERM→SIGKILL escalation.
 	Poll           time.Duration
@@ -91,7 +95,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		grant, err := w.Client.Acquire(w.ID)
+		grant, err := w.Client.Acquire(w.ID, w.Caps...)
 		if err != nil {
 			w.logf("lease poll failed (will retry): %v", err)
 			grant = nil
@@ -123,7 +127,12 @@ func (w *Worker) runLease(ctx context.Context, grant *LeaseGrant) error {
 		return err
 	}
 	cmd := exec.Command(w.Exe, grant.Args...)
-	cmd.Env = append(append(os.Environ(), w.ExtraEnv...), ShardArgsEnv+"="+string(encoded))
+	// The lease rides along so the child's runner can claim crash-state
+	// classes against the daemon's per-campaign registry.
+	cmd.Env = append(append(os.Environ(), w.ExtraEnv...),
+		ShardArgsEnv+"="+string(encoded),
+		VerdictURLEnv+"="+w.Client.BaseURL,
+		VerdictLeaseEnv+"="+grant.Lease)
 	// The daemon-held checkpoint rides in on stdin: with -checkpoint -
 	// and -resume the child seeds its completed-failure-point set from
 	// it, the crash-respawn semantics of -spawn carried over the network.
