@@ -30,6 +30,7 @@ import (
 	"github.com/pmemgo/xfdetector/internal/core"
 	"github.com/pmemgo/xfdetector/internal/pmem"
 	"github.com/pmemgo/xfdetector/internal/pmredis"
+	"github.com/pmemgo/xfdetector/internal/record"
 	"github.com/pmemgo/xfdetector/internal/serve"
 	"github.com/pmemgo/xfdetector/internal/vcache"
 	"github.com/pmemgo/xfdetector/internal/workloads"
@@ -93,6 +94,9 @@ func realMain(args []string) int {
 		poolFile    = fs.String("pool-file", "", "back the PM pool with this mmap'd file, persisted with range-batched msync at every ordering point and failure-point snapshot; a fresh campaign refuses an existing file (-resume reopens it). With -spawn the value marks the request and each shard gets <workdir>/shard<i>.pool")
 		workdir     = fs.String("workdir", "", "campaign directory for -spawn: per-shard checkpoints (shard<i>.ckpt) and pool files (shard<i>.pool) are created under it")
 		keysOut     = fs.String("keys-out", "", "write the sorted deduplicated report keys to this file")
+		recordPath  = fs.String("record", "", "record the deterministic pre-failure pass once into this artifact (trace + engine checkpoints + pool deltas) and exit without post-failure runs; shards, -resume, and -serve workers replay it with -from-record instead of re-executing the program")
+		fromRecord  = fs.String("from-record", "", "replay the pre-failure stage from this recorded artifact instead of executing the program, fast-forwarding through the nearest engine checkpoint below the first owned failure point; the artifact's program identity must match this campaign's flags")
+		noFF        = fs.Bool("no-fast-forward", false, "ablation: -spawn (and daemon-scheduled campaigns) skip the record-once pass, every shard re-executes the pre-failure stage live (the report-key set is identical either way)")
 		shards      = fs.Int("shards", 0, "total shards of a partitioned campaign (this process runs failure points fp%%shards == shard-index)")
 		shardIndex  = fs.Int("shard-index", -1, "this process's shard in [0, shards)")
 		spawn       = fs.Int("spawn", 0, "fork this many shard subprocesses, supervise them (re-spawning crashed shards with -resume), and merge their checkpoints")
@@ -121,6 +125,12 @@ func realMain(args []string) int {
 	}
 	if modes > 1 {
 		return errorf("-merge, -spawn, -serve, -worker and -submit are mutually exclusive modes")
+	}
+	if *recordPath != "" && modes > 0 {
+		return errorf("-record is a standalone recording pass (-spawn and -serve record automatically; -no-fast-forward disables that)")
+	}
+	if *fromRecord != "" && (*merge || *serveAddr != "" || *workerURL != "" || *submitURL != "") {
+		return errorf("-from-record applies to a detection run or a -spawn fleet; drop it here")
 	}
 	if *merge {
 		if *shards > 0 {
@@ -191,15 +201,17 @@ func realMain(args []string) int {
 			vc = "" // lay no cache files the shards would ignore anyway
 		}
 		return runSpawn(spawnConfig{
-			shards:    *spawn,
-			baseArgs:  shardBaseArgs(fs),
-			ckptBase:  *ckptPath,
-			workdir:   *workdir,
-			poolFile:  *poolFile != "",
-			vcache:    vc,
-			resume:    *resume,
-			keysOut:   *keysOut,
-			killGrace: *killGrace,
+			shards:        *spawn,
+			baseArgs:      shardBaseArgs(fs),
+			ckptBase:      *ckptPath,
+			workdir:       *workdir,
+			poolFile:      *poolFile != "",
+			vcache:        vc,
+			resume:        *resume,
+			keysOut:       *keysOut,
+			killGrace:     *killGrace,
+			fromRecord:    *fromRecord,
+			noFastForward: *noFF,
 		})
 	}
 
@@ -241,6 +253,52 @@ func realMain(args []string) int {
 		cfg.Mode = core.ModeOriginal
 	default:
 		return errorf("unknown mode %q", *mode)
+	}
+
+	if *recordPath != "" {
+		switch {
+		case *fromRecord != "":
+			return errorf("-record and -from-record are mutually exclusive")
+		case *mode != "detect":
+			return errorf("-record requires -mode detect (the artifact carries detection state)")
+		case *shards > 0 || *shardIndex >= 0:
+			return errorf("-record captures the whole campaign once; drop -shards/-shard-index")
+		case *ckptPath != "" || *resume:
+			return errorf("-record runs no post-failure executions; drop -checkpoint/-resume")
+		case *poolFile != "":
+			return errorf("-record needs a memory-backed pool (the artifact replaces the durable image); drop -pool-file")
+		case *denseShadow:
+			return errorf("-record needs the sparse shadow (engine checkpoints have no dense form); drop -dense-shadow")
+		case *vcachePath != "":
+			return errorf("-record runs no post-failure executions; drop -verdict-cache")
+		}
+	}
+	if *fromRecord != "" && *noFF {
+		return errorf("-no-fast-forward runs the pre-failure stage live; drop -from-record")
+	}
+	var recordFile *os.File
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			return errorf("creating -record artifact: %v", err)
+		}
+		defer f.Close()
+		recordFile = f
+		cfg.Record = record.NewWriter(f, programIdentity(*workload, *patch, *mode, *initSize,
+			*testSize, *updates, *updRounds, *removes, *poolMB, *maxFP), cfg.PoolSize, 0)
+	}
+	if *fromRecord != "" {
+		a, err := record.Load(*fromRecord)
+		if err != nil {
+			return errorf("%v", err)
+		}
+		id := programIdentity(*workload, *patch, *mode, *initSize,
+			*testSize, *updates, *updRounds, *removes, *poolMB, *maxFP)
+		if a.Identity != id {
+			return errorf("artifact %s was recorded for a different program/config (identity %016x, this campaign %016x); re-record it",
+				*fromRecord, a.Identity, id)
+		}
+		cfg.Replay = a
 	}
 
 	if *resume && *ckptPath == "" {
@@ -323,6 +381,12 @@ func realMain(args []string) int {
 	res, err := core.RunContext(ctx, cfg, target)
 	if err != nil {
 		return errorf("detection failed: %v", err)
+	}
+	if recordFile != nil {
+		if err := recordFile.Sync(); err != nil {
+			return errorf("syncing -record artifact: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d failure point(s) to %s\n", res.FailurePoints, *recordPath)
 	}
 	if ckptW != nil && !res.Incomplete {
 		// The campaign over this checkpoint finished: record the summary
@@ -462,6 +526,7 @@ func shardBaseArgs(fs *flag.FlagSet) []string {
 		"spawn": true, "merge": true, "shards": true, "shard-index": true,
 		"checkpoint": true, "resume": true, "keys-out": true, "list": true,
 		"pool-file": true, "workdir": true, "verdict-cache": true,
+		"record": true, "from-record": true,
 		"serve": true, "worker": true, "submit": true,
 		"lease-ttl": true, "heartbeat": true, "kill-grace": true,
 	}

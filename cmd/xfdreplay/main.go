@@ -6,14 +6,21 @@
 //
 //	xfdreplay -record -workload btree -o btree.xfdt   record a trace
 //	xfdreplay -analyze btree.xfdt                     offline analysis
+//	xfdreplay -analyze campaign.xfdr                  analyze an artifact
 //
 // Offline analysis replays the trace through the persistence and
 // transaction state machines and prints: an operation census, the final
 // persistence census, performance bugs, and the pre-failure-only findings
-// the pmemcheck-like and PMTest-like checkers would report.
+// the pmemcheck-like and PMTest-like checkers would report. -analyze
+// accepts both container formats by sniffing the magic: a bare XFDT trace
+// (this command's own -record output) or a recorded-campaign XFDR
+// artifact (xfdetector -record), whose header and checkpoint inventory
+// are printed before its embedded trace is analyzed.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ import (
 
 	"github.com/pmemgo/xfdetector/internal/baseline"
 	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/record"
 	"github.com/pmemgo/xfdetector/internal/shadow"
 	"github.com/pmemgo/xfdetector/internal/trace"
 	"github.com/pmemgo/xfdetector/internal/workloads"
@@ -91,13 +99,32 @@ func doRecord(workload, patch string, initSize, testSize int, out string) error 
 }
 
 func doAnalyze(path string) error {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	tr := trace.New()
-	if _, err := tr.ReadFrom(f); err != nil {
+	// Sniff the container: an XFDR recorded-campaign artifact embeds the
+	// trace behind a header; anything else is decoded as a bare XFDT trace
+	// (the legacy path this command has always read).
+	var tr *trace.Trace
+	switch a, err := record.Read(bytes.NewReader(data)); {
+	case err == nil:
+		fmt.Printf("recorded-campaign artifact: target %q, identity %016x, pool %d bytes\n",
+			a.Target, a.Identity, a.PoolSize)
+		fmt.Printf("  %d failure point(s), %d engine checkpoint(s), %d pre-failure perf report(s)\n",
+			len(a.FPs), len(a.Checkpoints), len(a.Perf))
+		for _, ck := range a.Checkpoints {
+			fmt.Printf("  checkpoint at failure point %d (trace index %d, %d op(s))\n",
+				ck.FP, ck.TraceIdx, ck.OpsEver)
+		}
+		fmt.Println()
+		tr = a.Trace
+	case errors.Is(err, record.ErrBadMagic):
+		tr = trace.New()
+		if _, err := tr.ReadFrom(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("decode %s: %w", path, err)
+		}
+	default:
 		return fmt.Errorf("decode %s: %w", path, err)
 	}
 	size := baseline.PoolSizeFor(tr)

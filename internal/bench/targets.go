@@ -231,3 +231,20 @@ func UpdateLoopTarget(name string, slots, rounds int) core.Target {
 var PruneAblationConfig = workloads.TargetConfig{
 	InitSize: 2, TestSize: 1, Updates: 2, UpdateRounds: 30, PostOps: true,
 }
+
+// RecordedFanoutTarget is the campaign BenchmarkRecordedFanout and
+// TestRecordedFanoutAcceptance share: the update-heavy B-Tree with its
+// validation suite's skip-add-leaf fault seeded, so the merged key sets
+// both compare are non-empty. The pre-failure stage runs sixty pmobj
+// update transactions with per-store source-location capture — the work a
+// fast-forwarded shard replaces with trace application, which is where
+// the recorded artifact's speedup comes from.
+func RecordedFanoutTarget() core.Target {
+	m, ok := workloads.MakerFor("B-Tree")
+	if !ok {
+		panic("bench: B-Tree workload not registered")
+	}
+	cfg := PruneAblationConfig
+	cfg.Fault = "btree-skip-add-leaf"
+	return workloads.DetectionTarget(m, cfg)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/pmemgo/xfdetector/internal/pmem"
+	"github.com/pmemgo/xfdetector/internal/record"
 	"github.com/pmemgo/xfdetector/internal/shadow"
 	"github.com/pmemgo/xfdetector/internal/trace"
 )
@@ -163,6 +164,32 @@ type Config struct {
 	ShardCount int
 	// ShardIndex is this process's shard in [0, ShardCount).
 	ShardIndex int
+	// Record, if set, turns the run into a recording pass: the pre-failure
+	// stage executes once with the post-failure stage forced off (failure
+	// points are injected and counted exactly as a real campaign would, but
+	// nothing is dispatched), and at each failure point the runner hands
+	// the writer the trace position, the crash-state fingerprint, and the
+	// pool pages dirtied since the previous point; the writer checkpoints
+	// the serialized shadow periodically and Run finalizes the artifact.
+	// Requires ModeDetect, the sparse shadow, and a memory-backed pool; a
+	// cancelled or degraded recording fails with an error rather than
+	// producing a short artifact.
+	Record *record.Writer
+	// Replay, if set, runs the frontend from a recorded artifact instead
+	// of executing Target.Setup/Target.Pre: trace entries replay into the
+	// shadow, recorded failure-point markers dispatch post-runs exactly as
+	// live injection would (same sharding, resume, pruning, and verdict
+	// semantics), and the pool image advances by the artifact's page
+	// deltas. When pruning is on and the shard's first owned, uncovered
+	// failure point lies past an engine checkpoint, the replay jumps to
+	// the nearest checkpoint at or below it — restoring the serialized
+	// shadow and the composed pool image — and replays only the trace
+	// delta; every replayed dispatch first verifies the recorded
+	// crash-state fingerprint against the replayed shadow and fails the
+	// run on a mismatch (a stale or corrupt checkpoint must never skew
+	// detection silently). Requires ModeDetect and a pool size matching
+	// the artifact's.
+	Replay *record.Artifact
 }
 
 // defaultMaxPostOps bounds a post-failure run; real recoveries in the
@@ -229,6 +256,31 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	if cfg.PoolSize == 0 {
 		cfg.PoolSize = defaultPoolSize
 	}
+	if cfg.Record != nil && cfg.Replay != nil {
+		return nil, errors.New("core: Record and Replay are mutually exclusive")
+	}
+	if cfg.Record != nil {
+		if cfg.Mode != ModeDetect {
+			return nil, errors.New("core: recording requires detect mode")
+		}
+		if cfg.DenseShadow {
+			return nil, errors.New("core: recording requires the sparse shadow (dense shadow state has no checkpoint form)")
+		}
+		// A recording pass injects and numbers failure points exactly like
+		// a live campaign but dispatches nothing: the artifact stands in
+		// for the pre-failure execution of every future shard.
+		t.Post = nil
+		cfg.KeepTrace = true
+	}
+	if cfg.Replay != nil {
+		if cfg.Mode != ModeDetect {
+			return nil, errors.New("core: replaying a recorded campaign requires detect mode")
+		}
+		if cfg.Replay.PoolSize != cfg.PoolSize {
+			return nil, fmt.Errorf("core: recorded artifact has pool size %d, campaign wants %d",
+				cfg.Replay.PoolSize, cfg.PoolSize)
+		}
+	}
 	r := &runner{ctx: ctx, cfg: cfg, target: t, reports: newReportSet()}
 	for _, rep := range cfg.SeedReports {
 		r.reports.add(rep)
@@ -242,6 +294,10 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 		return nil, fmt.Errorf("core: creating %s-backed pool: %w", backend, err)
 	}
 	r.pool = pool
+	if cfg.Record != nil && pool.FileBacked() {
+		pool.Close()
+		return nil, errors.New("core: recording requires a memory-backed pool (the artifact replaces the durable image)")
+	}
 	r.pool.SetIncrementalSnapshots(!cfg.DisableIncrementalSnapshots)
 	r.pool.SetFaultHooks(cfg.FaultHooks)
 	r.pool.SetIPCapture(!cfg.DisableIPCapture && cfg.Mode != ModeOriginal)
@@ -304,21 +360,32 @@ func RunContext(ctx context.Context, cfg Config, t Target) (*Result, error) {
 	defer closeEngine()
 
 	start := time.Now()
-	pre := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
-	if t.Setup != nil {
-		r.setupPhase = true
-		if err := runStage("setup", t.Setup, pre); err != nil {
+	if cfg.Replay != nil {
+		if err := r.replayRecorded(); err != nil {
 			return nil, err
 		}
-		r.setupPhase = false
-	}
-	if err := runStage("pre-failure stage", t.Pre, pre); err != nil {
-		return nil, err
-	}
-	if r.roiActive {
-		r.maybeInjectFinal()
+	} else {
+		pre := &Ctx{r: r, pool: r.pool, stage: trace.PreFailure, failurePoint: -1}
+		if t.Setup != nil {
+			r.setupPhase = true
+			if err := runStage("setup", t.Setup, pre); err != nil {
+				return nil, err
+			}
+			r.setupPhase = false
+		}
+		if err := runStage("pre-failure stage", t.Pre, pre); err != nil {
+			return nil, err
+		}
+		if r.roiActive {
+			r.maybeInjectFinal()
+		}
 	}
 	closeEngine()
+	if cfg.Record != nil {
+		if err := r.finishRecording(); err != nil {
+			return nil, err
+		}
+	}
 	total := time.Since(start)
 
 	fileBacked := r.pool.FileBacked()
@@ -414,6 +481,11 @@ type runner struct {
 	skipFailure   int
 	detectionDone bool
 	setupPhase    bool
+
+	// recordErr latches the first artifact-writer failure of a recording
+	// pass (replay.go); the run fails with it instead of finalizing a
+	// short artifact.
+	recordErr error
 
 	// engine is non-nil when parallel detection is enabled.
 	engine *parallelEngine
@@ -600,6 +672,19 @@ func (r *runner) injectFailure() {
 	r.failurePoints++
 	r.opsSinceFP = 0
 	r.recordLocked(trace.Entry{Kind: trace.FailurePoint, Stage: trace.PreFailure})
+	if r.cfg.Record != nil {
+		r.recordFailurePoint(fpID)
+	}
+	r.dispatchFP(fpID)
+}
+
+// dispatchFP runs everything that happens at an injected failure point
+// after its marker is recorded: shard ownership, checkpoint resume,
+// crash-state pruning, and the post-run itself. It is shared verbatim by
+// live injection (injectFailure) and recorded replay
+// (replayFailurePoint), so a replayed campaign makes exactly the
+// decisions a live one would. Callers hold sinkMu.
+func (r *runner) dispatchFP(fpID int) {
 	if r.target.Post == nil {
 		return
 	}

@@ -98,6 +98,11 @@ func CheckSeed(seed int64, knob Knob) error {
 //     cache (internal/vcache): both runs reproduce the oracle's key set,
 //     the warm run's cache hits equal the entries the cold run persisted
 //     and its post-runs shrink by exactly that count;
+//   - ModeDetect replayed from a recorded pre-failure artifact
+//     (internal/record): sequential, three-shard and deep-jump-resume
+//     replays must reproduce the oracle's key set (or the full-trace
+//     replay's, for the resume) with exact bucket accounting and
+//     oracle-predicted post-read byte digests;
 //   - ModeTraceOnly: no failure points, no reports, exactly the op entries;
 //   - ModeOriginal: no tracing at all.
 //
@@ -233,6 +238,13 @@ func CheckProgram(p Program) error {
 		return err
 	}
 	if err := checkWarmCache(p, want, base); err != nil {
+		return err
+	}
+
+	// Recorded-campaign fast-forward (recorded.go): record the pre-failure
+	// pass once, then hold sequential, sharded and checkpoint-jumping
+	// replays of the artifact to the oracle and to the live pruned run.
+	if err := checkRecorded(p, want, base); err != nil {
 		return err
 	}
 

@@ -1,0 +1,170 @@
+package fuzzgen
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"github.com/pmemgo/xfdetector/internal/core"
+	"github.com/pmemgo/xfdetector/internal/record"
+)
+
+// Differential configurations for the recorded-campaign artifact (the
+// -record / -from-record fast-forward path). Replaying the pre-failure
+// stage from an artifact may only change *how* the frontend trace reaches
+// the backend, never what the campaign reports: the key set, the
+// failure-point accounting, and the exact bytes every surviving post-run
+// observes must all match the live execution — and through an engine
+// checkpoint jump, the suffix replay must be indistinguishable from a
+// full-trace replay.
+
+// recordedCheckpointEvery is the artifact checkpoint interval used by the
+// differential configurations: small, so generated programs (a handful of
+// failure points) still exercise the checkpoint-jump path.
+const recordedCheckpointEvery = 2
+
+// recordProgram runs p's recording pass and decodes the artifact.
+func recordProgram(p Program) (*record.Artifact, error) {
+	id, err := programIdentity(p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	cfg := core.Config{PoolSize: p.PoolSize}
+	cfg.Record = record.NewWriter(&buf, id, p.PoolSize, recordedCheckpointEvery)
+	res, err := core.Run(cfg, BuildTarget(p))
+	if err != nil {
+		return nil, fmt.Errorf("fuzzgen: %q: recording: %w", p.Name, err)
+	}
+	if res.PostRuns != 0 {
+		return nil, fmt.Errorf("fuzzgen: %q: recording ran %d post-failure executions; the record pass is pre-failure only",
+			p.Name, res.PostRuns)
+	}
+	a, err := record.Read(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzgen: %q: decoding artifact: %w", p.Name, err)
+	}
+	if a.Identity != id {
+		return nil, fmt.Errorf("fuzzgen: %q: artifact identity %016x, want %016x", p.Name, a.Identity, id)
+	}
+	return a, nil
+}
+
+// checkRecorded records p once and holds every replayed configuration to
+// the oracle: a sequential replay must match the live pruned run key for
+// key and bucket for bucket (byte-identical post-read digests included), a
+// three-shard replay fleet must union to the oracle's key set with exact
+// per-shard accounting, and a deep-jump resume (every failure point but
+// the last completed, fast-forwarding through the nearest engine
+// checkpoint) must report exactly what a full-trace replay of the same
+// resume reports.
+func checkRecorded(p Program, want *OracleResult, base *core.Result) error {
+	a, err := recordProgram(p)
+	if err != nil {
+		return err
+	}
+	if err := compare(p, "recorded", "failure-points",
+		fmt.Sprint(want.FailurePoints), fmt.Sprint(len(a.FPs))); err != nil {
+		return err
+	}
+
+	// Sequential replay vs the live pruned run (base).
+	log := &PostReadLog{}
+	res, err := core.Run(core.Config{PoolSize: p.PoolSize, Replay: a}, BuildTargetRecording(p, log))
+	if err != nil {
+		return fmt.Errorf("fuzzgen: %q: replay: %w", p.Name, err)
+	}
+	if err := compare(p, "recorded", "keys",
+		strings.Join(want.Keys, " ; "), joinKeys(res)); err != nil {
+		return err
+	}
+	if err := compare(p, "recorded", "post-runs",
+		fmt.Sprint(base.PostRuns), fmt.Sprint(res.PostRuns)); err != nil {
+		return err
+	}
+	if err := compare(p, "recorded", "pruned-failure-points",
+		fmt.Sprint(base.PrunedFailurePoints), fmt.Sprint(res.PrunedFailurePoints)); err != nil {
+		return err
+	}
+	if err := compare(p, "recorded", "bucket-accounting",
+		fmt.Sprint(res.FailurePoints), fmt.Sprint(res.BucketedFailurePoints())); err != nil {
+		return err
+	}
+	if err := checkDigestsPredicted(p, "recorded", want, log); err != nil {
+		return err
+	}
+
+	// Three-shard replay fleet: every shard fast-forwards from the same
+	// artifact; the union must still be the oracle's key set.
+	shardLog := &PostReadLog{}
+	results := make([]*core.Result, 0, verdictShards)
+	for idx := 0; idx < verdictShards; idx++ {
+		res, err := core.Run(core.Config{
+			PoolSize:   p.PoolSize,
+			ShardCount: verdictShards,
+			ShardIndex: idx,
+			Replay:     a,
+		}, BuildTargetRecording(p, shardLog))
+		if err != nil {
+			return fmt.Errorf("fuzzgen: %q: replay shard %d: %w", p.Name, idx, err)
+		}
+		if err := compare(p, "recorded-shards", fmt.Sprintf("shard%d-bucket-accounting", idx),
+			fmt.Sprint(res.FailurePoints), fmt.Sprint(res.BucketedFailurePoints())); err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	if err := compare(p, "recorded-shards", "keys",
+		strings.Join(want.Keys, " ; "), unionKeys(results...)); err != nil {
+		return err
+	}
+	if err := checkDigestsPredicted(p, "recorded-shards", want, shardLog); err != nil {
+		return err
+	}
+
+	// Deep-jump resume: everything but the last failure point completed, so
+	// the replay fast-forwards through the nearest checkpoint. The full-trace
+	// replay of the same resume (KeepTrace pins the no-jump path) is the
+	// reference.
+	total := len(a.FPs)
+	if total < 2 {
+		return nil
+	}
+	completed := make(map[int]bool, total-1)
+	for fp := 0; fp < total-1; fp++ {
+		completed[fp] = true
+	}
+	resume := func(keepTrace bool) (*core.Result, error) {
+		res, err := core.Run(core.Config{
+			PoolSize:               p.PoolSize,
+			Replay:                 a,
+			KeepTrace:              keepTrace,
+			CompletedFailurePoints: completed,
+		}, BuildTarget(p))
+		if err != nil {
+			return nil, fmt.Errorf("fuzzgen: %q: resume replay (keepTrace=%v): %w", p.Name, keepTrace, err)
+		}
+		return res, nil
+	}
+	jumped, err := resume(false)
+	if err != nil {
+		return err
+	}
+	full, err := resume(true)
+	if err != nil {
+		return err
+	}
+	if err := compare(p, "recorded-resume", "keys", joinKeys(full), joinKeys(jumped)); err != nil {
+		return err
+	}
+	if err := compare(p, "recorded-resume", "post-runs",
+		fmt.Sprint(full.PostRuns), fmt.Sprint(jumped.PostRuns)); err != nil {
+		return err
+	}
+	if err := compare(p, "recorded-resume", "resumed-failure-points",
+		fmt.Sprint(total-1), fmt.Sprint(jumped.ResumedFailurePoints)); err != nil {
+		return err
+	}
+	return compare(p, "recorded-resume", "bucket-accounting",
+		fmt.Sprint(jumped.FailurePoints), fmt.Sprint(jumped.BucketedFailurePoints()))
+}

@@ -152,6 +152,42 @@ func (p *Pool) snapshotLocked() *Snapshot {
 	return s
 }
 
+// DeltaPage is one dirty page captured by TakeDelta.
+type DeltaPage struct {
+	Index int    // page number (page i covers [i*PageSize, (i+1)*PageSize))
+	Data  []byte // immutable once captured; len < PageSize only on the tail
+}
+
+// TakeDelta drains the dirty bitmap of a root pool: it returns a clone of
+// every page written since the previous TakeDelta (or pool creation) and
+// clears the dirty bits, so consecutive deltas compose back into the full
+// image when applied in order over a zeroed pool. Recording campaigns
+// (internal/record) call it at each failure point to serialize
+// page-granular pool deltas instead of full images. Taking a delta resets
+// the incremental-snapshot base — the next TakeSnapshot after a TakeDelta
+// pays a full copy — which is irrelevant to the record pass, whose
+// post-failure stage never runs and therefore never snapshots.
+func (p *Pool) TakeDelta() []DeltaPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buf == nil {
+		return nil // COW views track no dirty bits
+	}
+	var out []DeltaPage
+	n := numPages(p.size)
+	for pg := 0; pg < n; pg++ {
+		if p.dirty[pg/64]&(1<<(pg%64)) != 0 {
+			lo, hi := pageBounds(pg, p.size)
+			out = append(out, DeltaPage{Index: pg, Data: clonePage(p.buf[lo:hi])})
+		}
+	}
+	for i := range p.dirty {
+		p.dirty[i] = 0
+	}
+	p.base = nil
+	return out
+}
+
 // markDirtyLocked records that [addr, addr+size) was written; callers hold
 // p.mu and have bounds-checked the range. Root pools only. On a
 // file-backed pool the same write also dirties the writeback bitmap

@@ -295,3 +295,117 @@ func TestAppendLinesDurable(t *testing.T) {
 		t.Errorf("daemon-held checkpoint = %q", data)
 	}
 }
+
+// TestAcquireRoundRobinAcrossCampaigns: concurrent runnable campaigns
+// share the worker fleet — each grant starts the next scan one past the
+// granting campaign, so leases alternate instead of draining campaigns in
+// strict submission order. The injected clock then expires a lease and the
+// rescheduled shard rejoins the same rotation with -resume.
+func TestAcquireRoundRobinAcrossCampaigns(t *testing.T) {
+	s, now := testServer(t, time.Minute)
+	c1 := mustSubmit(t, s, CampaignSpec{Args: []string{"-workload", "btree"}, Shards: 2})
+	c2 := mustSubmit(t, s, CampaignSpec{Args: []string{"-workload", "ctree"}, Shards: 2})
+
+	var order []string
+	var grants []*LeaseGrant
+	for i := 0; i < 4; i++ {
+		g := mustAcquire(t, s, fmt.Sprintf("w%d", i))
+		order = append(order, fmt.Sprintf("%s/%d", g.Campaign, g.Shard))
+		grants = append(grants, g)
+	}
+	want := []string{c1 + "/0", c2 + "/0", c1 + "/1", c2 + "/1"}
+	if got := strings.Join(order, " "); got != strings.Join(want, " ") {
+		t.Fatalf("grant order = %s, want round-robin %s", got, strings.Join(want, " "))
+	}
+	if g, _ := s.Acquire("w9"); g != nil {
+		t.Fatalf("fifth grant = %+v, want nothing schedulable", g)
+	}
+
+	// Expire only c1/0 (the others heartbeat); its reschedule must be the
+	// only grantable shard and must carry -resume.
+	*now = now.Add(45 * time.Second)
+	for _, g := range grants[1:] {
+		if err := s.Heartbeat(g.Lease); err != nil {
+			t.Fatal(err)
+		}
+	}
+	*now = now.Add(30 * time.Second)
+	regrant := mustAcquire(t, s, "w9")
+	if regrant.Campaign != c1 || regrant.Shard != 0 || !regrant.Resume {
+		t.Fatalf("post-expiry regrant = %+v, want campaign %s shard 0 with -resume", regrant, c1)
+	}
+	if err := s.Heartbeat(grants[0].Lease); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("zombie heartbeat error = %v, want ErrLeaseGone", err)
+	}
+}
+
+// TestRecordingCampaignNotLeased: while the record-once pass runs, the
+// campaign's shards must not lease (a shard started live would duplicate
+// the pre-failure work the artifact is about to make redundant); once the
+// recording resolves, grants carry Artifact=true. A submission carrying
+// -no-fast-forward skips recording entirely and leases immediately.
+func TestRecordingCampaignNotLeased(t *testing.T) {
+	s, _ := testServer(t, time.Minute)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	s.Record = func(dir string, args []string) (string, error) {
+		defer close(done)
+		<-release
+		return dir + "/campaign.xfdr", nil
+	}
+
+	mustSubmit(t, s, CampaignSpec{Args: []string{"-workload", "btree"}, Shards: 1})
+	if g, _ := s.Acquire("w1"); g != nil {
+		t.Fatalf("grant while recording = %+v, want nothing schedulable", g)
+	}
+	close(release)
+	<-done
+	// recordCampaign publishes the artifact under the lock after Record
+	// returns; one more lock round-trip orders this Acquire after it.
+	deadline := time.Now().Add(5 * time.Second)
+	var grant *LeaseGrant
+	for grant == nil && time.Now().Before(deadline) {
+		grant, _ = s.Acquire("w1")
+	}
+	if grant == nil {
+		t.Fatal("no lease granted after recording resolved")
+	}
+	if !grant.Artifact {
+		t.Error("grant after recording has Artifact=false, want true")
+	}
+
+	// -no-fast-forward: no record pass, immediate lease, no artifact.
+	s.Record = func(dir string, args []string) (string, error) {
+		t.Error("record pass launched for a -no-fast-forward submission")
+		return "", nil
+	}
+	mustSubmit(t, s, CampaignSpec{Args: []string{"-workload", "btree", "-no-fast-forward"}, Shards: 1})
+	g2 := mustAcquire(t, s, "w2")
+	if g2.Artifact {
+		t.Error("-no-fast-forward grant has Artifact=true, want false")
+	}
+}
+
+// TestFailedRecordingFallsBackToLive: a failed record pass is not fatal —
+// the shards lease normally, just without an artifact.
+func TestFailedRecordingFallsBackToLive(t *testing.T) {
+	s, _ := testServer(t, time.Minute)
+	done := make(chan struct{})
+	s.Record = func(dir string, args []string) (string, error) {
+		defer close(done)
+		return "", fmt.Errorf("record child: boom")
+	}
+	mustSubmit(t, s, CampaignSpec{Args: []string{"-workload", "btree"}, Shards: 1})
+	<-done
+	deadline := time.Now().Add(5 * time.Second)
+	var grant *LeaseGrant
+	for grant == nil && time.Now().Before(deadline) {
+		grant, _ = s.Acquire("w1")
+	}
+	if grant == nil {
+		t.Fatal("no lease granted after failed recording")
+	}
+	if grant.Artifact {
+		t.Error("failed recording still advertised an artifact")
+	}
+}

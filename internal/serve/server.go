@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 
 	"github.com/pmemgo/xfdetector/internal/ckpt"
 	"github.com/pmemgo/xfdetector/internal/core"
@@ -234,6 +235,28 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("POST /leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		leaseErr(w, s.Heartbeat(r.PathValue("id")))
+	})
+
+	// Raw-bytes artifact download for fast-forwarded shards; the fetch
+	// doubles as a heartbeat (ArtifactPath validates and renews the lease).
+	mux.HandleFunc("GET /leases/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		path, err := s.ArtifactPath(r.PathValue("id"))
+		if err != nil {
+			leaseErr(w, err)
+			return
+		}
+		if path == "" {
+			http.Error(w, "campaign has no recorded artifact", http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.Copy(w, f)
 	})
 
 	mux.HandleFunc("POST /leases/{id}/claim", func(w http.ResponseWriter, r *http.Request) {

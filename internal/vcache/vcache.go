@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"github.com/pmemgo/xfdetector/internal/core"
@@ -88,7 +89,8 @@ type Cache struct {
 func Open(path string) (*Cache, error) {
 	c := &Cache{path: path, entries: make(map[key][]core.Report)}
 	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
+	fresh := errors.Is(err, os.ErrNotExist)
+	if err != nil && !fresh {
 		return nil, fmt.Errorf("vcache: reading %s: %w", path, err)
 	}
 	if len(data) > 0 {
@@ -100,8 +102,28 @@ func Open(path string) (*Cache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vcache: opening %s: %w", path, err)
 	}
+	if fresh {
+		// A freshly created cache file is only durable once its directory
+		// entry is: fsync the parent directory, or a crash can leave later
+		// fsynced appends pointing into a file that never existed.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("vcache: syncing parent of %s: %w", path, err)
+		}
+	}
 	c.f = f
 	return c, nil
+}
+
+// syncDir fsyncs a directory so a just-created entry in it survives a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // load parses the JSONL image, tolerating only a torn final line.
